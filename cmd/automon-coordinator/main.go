@@ -1,0 +1,80 @@
+// automon-coordinator runs an AutoMon coordinator behind a TCP listener for
+// a distributed deployment. Start it first, then launch one automon-node per
+// node id with the same -func and -seed so both sides build identical
+// models.
+//
+//	automon-coordinator -addr :7700 -func inner-product -nodes 10 -eps 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"automon/internal/core"
+	"automon/internal/experiments"
+	"automon/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	fn := flag.String("func", "inner-product", "workload name (must match the nodes)")
+	nodes := flag.Int("nodes", 10, "number of nodes that will register")
+	eps := flag.Float64("eps", 0.1, "approximation error bound ε")
+	r := flag.Float64("r", 1, "ADCD-X neighborhood size")
+	seed := flag.Int64("seed", 1, "master seed (must match the nodes)")
+	full := flag.Bool("full", false, "full-size parameters")
+	latency := flag.Duration("latency", 0, "injected one-way latency per message")
+	report := flag.Duration("report", 2*time.Second, "estimate reporting interval")
+	flag.Parse()
+
+	o := experiments.Options{Quick: !*full, Seed: *seed}
+	w, err := experiments.NamedWorkload(*fn, o)
+	if err != nil {
+		fail(err)
+	}
+	cfg := core.Config{Epsilon: *eps, R: *r, Decomp: w.Decomp}
+	if w.FixedR > 0 {
+		cfg.R = w.FixedR
+	}
+
+	coord, err := transport.ListenCoordinator(*addr, w.F, *nodes, cfg, transport.Options{Latency: *latency})
+	if err != nil {
+		fail(err)
+	}
+	defer coord.Close()
+	fmt.Printf("automon-coordinator: listening on %s for %d nodes (f = %s, ε = %g)\n",
+		coord.Addr(), *nodes, w.Name, *eps)
+
+	select {
+	case <-coord.Ready():
+	case <-time.After(5 * time.Minute):
+		fail(fmt.Errorf("nodes never registered"))
+	}
+	fmt.Println("automon-coordinator: all nodes registered, monitoring")
+
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+	for range ticker.C {
+		if err := coord.Err(); err != nil {
+			// Node disconnects end the run.
+			stats := coord.CoordStats()
+			fmt.Printf("automon-coordinator: shutting down (%v)\n", err)
+			fmt.Printf("  full syncs %d, lazy resolved %d/%d, violations: %d neighborhood / %d safe-zone / %d faulty\n",
+				stats.FullSyncs, stats.LazyResolved, stats.LazyAttempts,
+				stats.NeighborhoodViolations, stats.SafeZoneViolations, stats.FaultyViolations)
+			fmt.Printf("  traffic: sent %d msgs / %d payload bytes / %d wire bytes; received %d msgs / %d payload bytes\n",
+				coord.Stats.MessagesSent.Load(), coord.Stats.PayloadSent.Load(), coord.Stats.WireSent.Load(),
+				coord.Stats.MessagesReceived.Load(), coord.Stats.PayloadReceived.Load())
+			return
+		}
+		fmt.Printf("estimate f(x̄) ≈ %.6g  (msgs in/out: %d/%d)\n",
+			coord.Estimate(), coord.Stats.MessagesReceived.Load(), coord.Stats.MessagesSent.Load())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "automon-coordinator:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// automon-node runs one AutoMon node over TCP: it replays its slice of the
+// named workload's stream through its sliding window and reports constraint
+// violations to the coordinator.
+//
+//	automon-node -addr 127.0.0.1:7700 -func inner-product -id 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"automon/internal/experiments"
+	"automon/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "coordinator address")
+	fn := flag.String("func", "inner-product", "workload name (must match the coordinator)")
+	id := flag.Int("id", 0, "node id")
+	seed := flag.Int64("seed", 1, "master seed (must match the coordinator)")
+	full := flag.Bool("full", false, "full-size parameters")
+	latency := flag.Duration("latency", 0, "injected one-way latency per message")
+	interval := flag.Duration("interval", 0, "delay between data updates (0 = as fast as possible)")
+	flag.Parse()
+
+	o := experiments.Options{Quick: !*full, Seed: *seed}
+	w, err := experiments.NamedWorkload(*fn, o)
+	if err != nil {
+		fail(err)
+	}
+	ds := w.Data
+	if *id < 0 || *id >= ds.Nodes {
+		fail(fmt.Errorf("node id %d out of range (workload has %d nodes)", *id, ds.Nodes))
+	}
+
+	window := ds.NewWindow()
+	for r := 0; r < ds.FillRounds(); r++ {
+		window.Push(ds.FillSample(r, *id))
+	}
+
+	node, err := transport.DialNode(*addr, *id, w.F, window.Vector(), transport.Options{Latency: *latency})
+	if err != nil {
+		fail(err)
+	}
+	defer node.Close()
+	if err := node.WaitReady(5 * time.Minute); err != nil {
+		fail(err)
+	}
+	fmt.Printf("automon-node %d: monitoring %s over %d rounds\n", *id, w.Name, ds.Rounds)
+
+	updates, violationsSent := 0, node.Stats.MessagesSent.Load()
+	for r := 0; r < ds.Rounds; r++ {
+		s := ds.Sample(r, *id)
+		if s == nil {
+			continue
+		}
+		window.Push(s)
+		if err := node.Update(window.Vector()); err != nil {
+			fail(err)
+		}
+		updates++
+		if *interval > 0 {
+			time.Sleep(*interval)
+		}
+	}
+	fmt.Printf("automon-node %d: done — %d updates, %d messages sent (%d payload bytes), estimate %.6g\n",
+		*id, updates, node.Stats.MessagesSent.Load()-violationsSent+1,
+		node.Stats.PayloadSent.Load(), node.CurrentValue())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "automon-node:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Sketch composition (§5 of the paper): monitor the second frequency moment
+// (F₂) of a distributed update stream by sketching locally and monitoring
+// the query function of the *average sketch*. Because AMS sketches are
+// linear, the average of the node sketches is the sketch of the averaged
+// stream, and because the F₂ query is a quadratic form, AutoMon derives an
+// exact ADCD-E decomposition — a deterministic ε-guarantee on a sketched
+// statistic. Run with:
+//
+//	go run ./examples/sketchf2
+package main
+
+import (
+	"fmt"
+
+	"automon/internal/core"
+	"automon/internal/funcs"
+	"automon/internal/sim"
+	"automon/internal/stream"
+)
+
+func main() {
+	const (
+		rows, cols = 4, 64
+		nodes      = 8
+		rounds     = 800
+		eps        = 0.05
+	)
+	f := funcs.AMSF2(rows, cols)
+	ds := stream.ZipfTurnstile(nodes, rounds, rows, cols, 23)
+
+	fmt.Printf("monitoring sketched F2 over %d nodes (AMS %d×%d = %d-dim local state, ε = %v)\n\n",
+		nodes, rows, cols, f.Dim(), eps)
+
+	res, err := sim.Run(sim.Config{
+		F: f, Data: ds, Algorithm: sim.AutoMon,
+		Core: core.Config{Epsilon: eps}, Trace: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	central, err := sim.Run(sim.Config{
+		F: f, Data: ds, Algorithm: sim.Centralization, Core: core.Config{Epsilon: eps},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("round   sketched F2   estimate")
+	stride := res.Rounds / 16
+	for i := 0; i < res.Rounds; i += stride {
+		marker := ""
+		if res.TrueTrace[i] > 2*res.TrueTrace[0]+eps {
+			marker = "  << heavy-hitter burst"
+		}
+		fmt.Printf("%5d   %11.4f   %8.4f%s\n", i, res.TrueTrace[i], res.EstTrace[i], marker)
+	}
+	fmt.Printf("\nmax error %.4f (bound %v, deterministic: ADCD-E on a quadratic query)\n", res.MaxErr, eps)
+	fmt.Printf("messages: %d vs %d for centralizing every sketch update (%.1fx reduction)\n",
+		res.Messages, central.Messages, float64(central.Messages)/float64(res.Messages))
+}

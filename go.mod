@@ -1,0 +1,3 @@
+module automon
+
+go 1.22

@@ -1,0 +1,94 @@
+package autodiff
+
+// Degree analysis: each node is assigned a conservative polynomial degree.
+// A graph whose output has degree ≤ 2 computes a (multivariate) polynomial of
+// degree at most 2, so its Hessian is constant in x. AutoMon uses this to
+// decide automatically between ADCD-E (constant Hessian, Lemma 2) and ADCD-X
+// (general functions, Lemma 1), mirroring the paper's inspection of the
+// Hessian computational graph.
+
+// NonPolynomial is the degree reported for graphs that are not polynomials
+// in the inputs (or whose degree exceeds maxTrackedDegree).
+const NonPolynomial = 1 << 20
+
+const maxTrackedDegree = 64
+
+// Degree returns the conservative polynomial degree of the graph's output:
+// 0 for constants, 1 for affine functions, 2 for quadratics, and so on, or
+// NonPolynomial when the output is not a polynomial in the variables. The
+// analysis is sound (never underestimates) but may overestimate: for example
+// x*x - x² is reported as degree 2 even though it is identically zero.
+func (g *Graph) Degree() int {
+	deg := make([]int, len(g.nodes))
+	for i, n := range g.nodes {
+		switch n.op {
+		case OpConst:
+			deg[i] = 0
+		case OpVar:
+			deg[i] = 1
+		case OpAdd, OpSub:
+			deg[i] = maxDeg(deg[n.a], deg[n.b])
+		case OpMul:
+			deg[i] = sumDeg(deg[n.a], deg[n.b])
+		case OpDiv:
+			if deg[n.b] == 0 {
+				deg[i] = deg[n.a]
+			} else {
+				deg[i] = NonPolynomial
+			}
+		case OpNeg:
+			deg[i] = deg[n.a]
+		case OpSquare:
+			deg[i] = sumDeg(deg[n.a], deg[n.a])
+		case OpPowi:
+			k := int(n.k)
+			switch {
+			case deg[n.a] == 0:
+				deg[i] = 0
+			case k < 0:
+				deg[i] = NonPolynomial
+			default:
+				d := deg[n.a]
+				total := 0
+				for j := 0; j < k; j++ {
+					total = sumDeg(total, d)
+				}
+				deg[i] = total
+			}
+		default:
+			// Transcendental / non-smooth op: polynomial only when its
+			// argument is constant.
+			if deg[n.a] == 0 {
+				deg[i] = 0
+			} else {
+				deg[i] = NonPolynomial
+			}
+		}
+	}
+	return deg[g.out]
+}
+
+// HasConstantHessian reports whether the Hessian of the graph's function is
+// provably independent of x (degree ≤ 2). This is the trigger for ADCD-E.
+func (g *Graph) HasConstantHessian() bool {
+	d := g.Degree()
+	return d <= 2
+}
+
+func maxDeg(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sumDeg(a, b int) int {
+	if a >= NonPolynomial || b >= NonPolynomial {
+		return NonPolynomial
+	}
+	s := a + b
+	if s > maxTrackedDegree {
+		return NonPolynomial
+	}
+	return s
+}

@@ -1,0 +1,424 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"automon/internal/linalg"
+)
+
+// bufferPool hands out float64 scratch slices sized to the graph. Graphs are
+// shared between goroutines (e.g. simulated nodes), so scratch space is
+// pooled rather than stored on the Graph.
+type bufferPool struct {
+	size int
+	pool sync.Pool
+}
+
+func (p *bufferPool) get() []float64 {
+	if v := p.pool.Get(); v != nil {
+		buf := v.([]float64)
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]float64, p.size)
+}
+
+func (p *bufferPool) put(buf []float64) { p.pool.Put(buf) }
+
+func (g *Graph) checkDim(x []float64) {
+	if len(x) != len(g.vars) {
+		panic(fmt.Sprintf("autodiff: input has %d entries, graph has %d variables", len(x), len(g.vars)))
+	}
+}
+
+// Value evaluates f(x).
+func (g *Graph) Value(x []float64) float64 {
+	g.checkDim(x)
+	val := g.pool.get()
+	defer g.pool.put(val)
+	g.forward(x, val)
+	return val[g.out]
+}
+
+func (g *Graph) forward(x, val []float64) {
+	for i, n := range g.nodes {
+		switch n.op {
+		case OpConst:
+			val[i] = n.k
+		case OpVar:
+			val[i] = x[int(n.k)]
+		case OpAdd:
+			val[i] = val[n.a] + val[n.b]
+		case OpSub:
+			val[i] = val[n.a] - val[n.b]
+		case OpMul:
+			val[i] = val[n.a] * val[n.b]
+		case OpDiv:
+			val[i] = val[n.a] / val[n.b]
+		case OpNeg:
+			val[i] = -val[n.a]
+		case OpTanh:
+			val[i] = math.Tanh(val[n.a])
+		case OpRelu:
+			val[i] = math.Max(val[n.a], 0)
+		case OpStep:
+			if val[n.a] > 0 {
+				val[i] = 1
+			} else {
+				val[i] = 0
+			}
+		case OpSigmoid:
+			val[i] = 1 / (1 + math.Exp(-val[n.a]))
+		case OpExp:
+			val[i] = math.Exp(val[n.a])
+		case OpLog:
+			val[i] = math.Log(val[n.a])
+		case OpSin:
+			val[i] = math.Sin(val[n.a])
+		case OpCos:
+			val[i] = math.Cos(val[n.a])
+		case OpSqrt:
+			val[i] = math.Sqrt(val[n.a])
+		case OpSquare:
+			v := val[n.a]
+			val[i] = v * v
+		case OpPowi:
+			val[i] = powi(val[n.a], int(n.k))
+		case OpAbs:
+			val[i] = math.Abs(val[n.a])
+		case OpSign:
+			v := val[n.a]
+			switch {
+			case v > 0:
+				val[i] = 1
+			case v < 0:
+				val[i] = -1
+			default:
+				val[i] = 0
+			}
+		default:
+			panic("autodiff: unknown op " + n.op.String())
+		}
+	}
+}
+
+func powi(x float64, k int) float64 {
+	if k < 0 {
+		return 1 / powi(x, -k)
+	}
+	r := 1.0
+	for k > 0 {
+		if k&1 == 1 {
+			r *= x
+		}
+		x *= x
+		k >>= 1
+	}
+	return r
+}
+
+// partials returns the local derivatives ∂n/∂a and ∂n/∂b given the forward
+// values of the children and of the node itself.
+func (n *node) partials(va, vb, vn float64) (pa, pb float64) {
+	switch n.op {
+	case OpAdd:
+		return 1, 1
+	case OpSub:
+		return 1, -1
+	case OpMul:
+		return vb, va
+	case OpDiv:
+		return 1 / vb, -va / (vb * vb)
+	case OpNeg:
+		return -1, 0
+	case OpTanh:
+		return 1 - vn*vn, 0
+	case OpRelu:
+		if va > 0 {
+			return 1, 0
+		}
+		return 0, 0
+	case OpStep, OpSign:
+		return 0, 0
+	case OpSigmoid:
+		return vn * (1 - vn), 0
+	case OpExp:
+		return vn, 0
+	case OpLog:
+		return 1 / va, 0
+	case OpSin:
+		return math.Cos(va), 0
+	case OpCos:
+		return -math.Sin(va), 0
+	case OpSqrt:
+		return 0.5 / vn, 0
+	case OpSquare:
+		return 2 * va, 0
+	case OpPowi:
+		return n.k * powi(va, int(n.k)-1), 0
+	case OpAbs:
+		switch {
+		case va > 0:
+			return 1, 0
+		case va < 0:
+			return -1, 0
+		}
+		return 0, 0
+	}
+	return 0, 0
+}
+
+// Grad evaluates f(x) and stores ∇f(x) into grad, returning f(x).
+// grad must have length Dim.
+func (g *Graph) Grad(x, grad []float64) float64 {
+	g.checkDim(x)
+	if len(grad) != len(g.vars) {
+		panic("autodiff: grad buffer has wrong length")
+	}
+	val := g.pool.get()
+	adj := g.pool.get()
+	defer g.pool.put(val)
+	defer g.pool.put(adj)
+	g.forward(x, val)
+	adj[g.out] = 1
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		a := adj[i]
+		if a == 0 {
+			continue
+		}
+		n := &g.nodes[i]
+		switch n.op {
+		case OpConst, OpVar:
+			continue
+		}
+		var vb float64
+		if n.b >= 0 {
+			vb = val[n.b]
+		}
+		pa, pb := n.partials(val[n.a], vb, val[i])
+		adj[n.a] += a * pa
+		if n.b >= 0 {
+			adj[n.b] += a * pb
+		}
+	}
+	for i, vr := range g.vars {
+		grad[i] = adj[vr]
+	}
+	return val[g.out]
+}
+
+// HVP stores H(x)·v into out, where H is the Hessian of f. It uses
+// forward-over-reverse: a forward pass with tangents seeded by v, then a
+// reverse pass propagating both adjoints and their tangents. out must have
+// length Dim and must not alias v.
+func (g *Graph) HVP(x, v, out []float64) {
+	g.checkDim(x)
+	if len(v) != len(g.vars) || len(out) != len(g.vars) {
+		panic("autodiff: HVP buffer has wrong length")
+	}
+	val := g.pool.get()
+	tan := g.pool.get()
+	adj := g.pool.get()
+	adjT := g.pool.get()
+	defer g.pool.put(val)
+	defer g.pool.put(tan)
+	defer g.pool.put(adj)
+	defer g.pool.put(adjT)
+
+	// Forward pass with tangents.
+	for i, n := range g.nodes {
+		switch n.op {
+		case OpConst:
+			val[i], tan[i] = n.k, 0
+		case OpVar:
+			val[i], tan[i] = x[int(n.k)], v[int(n.k)]
+		default:
+			var vb, tb float64
+			if n.b >= 0 {
+				vb, tb = val[n.b], tan[n.b]
+			}
+			val[i], tan[i] = n.dualForward(val[n.a], tan[n.a], vb, tb)
+		}
+	}
+
+	// Reverse pass with dual adjoints: for child c of node n,
+	//   adj[c]  += adj[n]·p     and   adjT[c] += adjT[n]·p + adj[n]·ṗ
+	// where (p, ṗ) is the local partial and its directional derivative.
+	adj[g.out] = 1
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		a, at := adj[i], adjT[i]
+		if a == 0 && at == 0 {
+			continue
+		}
+		n := &g.nodes[i]
+		switch n.op {
+		case OpConst, OpVar:
+			continue
+		}
+		var vb, tb float64
+		if n.b >= 0 {
+			vb, tb = val[n.b], tan[n.b]
+		}
+		pa, dpa, pb, dpb := n.dualPartials(val[n.a], tan[n.a], vb, tb, val[i], tan[i])
+		adj[n.a] += a * pa
+		adjT[n.a] += at*pa + a*dpa
+		if n.b >= 0 {
+			adj[n.b] += a * pb
+			adjT[n.b] += at*pb + a*dpb
+		}
+	}
+	for i, vr := range g.vars {
+		out[i] = adjT[vr]
+	}
+}
+
+// dualForward computes the node value and its tangent given dual inputs.
+func (n *node) dualForward(va, ta, vb, tb float64) (v, t float64) {
+	switch n.op {
+	case OpAdd:
+		return va + vb, ta + tb
+	case OpSub:
+		return va - vb, ta - tb
+	case OpMul:
+		return va * vb, ta*vb + va*tb
+	case OpDiv:
+		v = va / vb
+		return v, (ta - v*tb) / vb
+	case OpNeg:
+		return -va, -ta
+	case OpTanh:
+		v = math.Tanh(va)
+		return v, (1 - v*v) * ta
+	case OpRelu:
+		if va > 0 {
+			return va, ta
+		}
+		return 0, 0
+	case OpStep:
+		if va > 0 {
+			return 1, 0
+		}
+		return 0, 0
+	case OpSigmoid:
+		v = 1 / (1 + math.Exp(-va))
+		return v, v * (1 - v) * ta
+	case OpExp:
+		v = math.Exp(va)
+		return v, v * ta
+	case OpLog:
+		return math.Log(va), ta / va
+	case OpSin:
+		return math.Sin(va), math.Cos(va) * ta
+	case OpCos:
+		return math.Cos(va), -math.Sin(va) * ta
+	case OpSqrt:
+		v = math.Sqrt(va)
+		return v, ta / (2 * v)
+	case OpSquare:
+		return va * va, 2 * va * ta
+	case OpPowi:
+		return powi(va, int(n.k)), n.k * powi(va, int(n.k)-1) * ta
+	case OpAbs:
+		switch {
+		case va > 0:
+			return va, ta
+		case va < 0:
+			return -va, -ta
+		}
+		return 0, 0
+	case OpSign:
+		switch {
+		case va > 0:
+			return 1, 0
+		case va < 0:
+			return -1, 0
+		}
+		return 0, 0
+	}
+	panic("autodiff: unknown op in dualForward: " + n.op.String())
+}
+
+// dualPartials returns the local partials (pa, pb) and their directional
+// derivatives (dpa, dpb) along the forward tangents.
+func (n *node) dualPartials(va, ta, vb, tb, vn, tn float64) (pa, dpa, pb, dpb float64) {
+	switch n.op {
+	case OpAdd:
+		return 1, 0, 1, 0
+	case OpSub:
+		return 1, 0, -1, 0
+	case OpMul:
+		return vb, tb, va, ta
+	case OpDiv:
+		pa = 1 / vb
+		dpa = -tb / (vb * vb)
+		pb = -va / (vb * vb)
+		dpb = (-ta*vb + 2*va*tb) / (vb * vb * vb)
+		return pa, dpa, pb, dpb
+	case OpNeg:
+		return -1, 0, 0, 0
+	case OpTanh:
+		pa = 1 - vn*vn
+		return pa, -2 * vn * tn, 0, 0
+	case OpRelu:
+		if va > 0 {
+			return 1, 0, 0, 0
+		}
+		return 0, 0, 0, 0
+	case OpStep, OpSign:
+		return 0, 0, 0, 0
+	case OpSigmoid:
+		pa = vn * (1 - vn)
+		return pa, tn * (1 - 2*vn), 0, 0
+	case OpExp:
+		return vn, tn, 0, 0
+	case OpLog:
+		return 1 / va, -ta / (va * va), 0, 0
+	case OpSin:
+		return math.Cos(va), -math.Sin(va) * ta, 0, 0
+	case OpCos:
+		return -math.Sin(va), -math.Cos(va) * ta, 0, 0
+	case OpSqrt:
+		pa = 0.5 / vn
+		return pa, -0.5 * tn / (vn * vn), 0, 0
+	case OpSquare:
+		return 2 * va, 2 * ta, 0, 0
+	case OpPowi:
+		k := n.k
+		pa = k * powi(va, int(n.k)-1)
+		dpa = k * (k - 1) * powi(va, int(n.k)-2) * ta
+		return pa, dpa, 0, 0
+	case OpAbs:
+		switch {
+		case va > 0:
+			return 1, 0, 0, 0
+		case va < 0:
+			return -1, 0, 0, 0
+		}
+		return 0, 0, 0, 0
+	}
+	panic("autodiff: unknown op in dualPartials: " + n.op.String())
+}
+
+// Hessian evaluates the full d×d Hessian of f at x into h via d
+// Hessian-vector products, then symmetrizes to wash out round-off.
+func (g *Graph) Hessian(x []float64, h *linalg.Mat) {
+	d := len(g.vars)
+	if h.Rows != d || h.Cols != d {
+		panic("autodiff: Hessian matrix has wrong shape")
+	}
+	v := make([]float64, d)
+	col := make([]float64, d)
+	for j := 0; j < d; j++ {
+		v[j] = 1
+		g.HVP(x, v, col)
+		v[j] = 0
+		for i := 0; i < d; i++ {
+			h.Set(i, j, col[i])
+		}
+	}
+	h.Symmetrize()
+}

@@ -1,0 +1,146 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+type smallVec []float64
+
+// Generate implements quick.Generator with bounded, finite entries.
+func (smallVec) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 1 + rng.Intn(8)
+	v := make(smallVec, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return reflect.ValueOf(v)
+}
+
+// TestQuickSumMatchesNaive: the balanced-reduction Sum equals a sequential
+// sum for arbitrary inputs.
+func TestQuickSumMatchesNaive(t *testing.T) {
+	check := func(v smallVec) bool {
+		g := Compile(len(v), func(b *Builder, x []Ref) Ref { return b.Sum(x...) })
+		var want float64
+		for _, e := range v {
+			want += e
+		}
+		got := g.Value([]float64(v))
+		return math.Abs(got-want) <= 1e-12*(1+math.Abs(want))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDotSymmetry: Dot(x, y) == Dot(y, x) and matches the naive sum.
+func TestQuickDotSymmetry(t *testing.T) {
+	check := func(x smallVec) bool {
+		n := len(x)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = float64(i) - 1.5
+		}
+		g1 := Compile(2*n, func(b *Builder, v []Ref) Ref { return b.Dot(v[:n], v[n:]) })
+		g2 := Compile(2*n, func(b *Builder, v []Ref) Ref { return b.Dot(v[n:], v[:n]) })
+		in := append(append([]float64(nil), x...), y...)
+		var want float64
+		for i := range x {
+			want += x[i] * y[i]
+		}
+		a, bv := g1.Value(in), g2.Value(in)
+		return math.Abs(a-want) <= 1e-12*(1+math.Abs(want)) && a == bv
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPowiMatchesPow for integer exponents on positive bases.
+func TestQuickPowiMatchesPow(t *testing.T) {
+	check := func(base float64, exp uint8) bool {
+		x := math.Abs(math.Mod(base, 3)) + 0.1
+		k := int(exp%7) - 3 // exponents −3..3
+		g := Compile(1, func(b *Builder, v []Ref) Ref { return b.Powi(v[0], k) })
+		got := g.Value([]float64{x})
+		want := math.Pow(x, float64(k))
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHVPSymmetry: the Hessian is symmetric, so uᵀ(Hv) == vᵀ(Hu) must
+// hold for every pair of directions on a generic smooth graph.
+func TestQuickHVPSymmetry(t *testing.T) {
+	g := Compile(4, func(b *Builder, x []Ref) Ref {
+		inner := b.Add(b.Mul(x[0], x[1]), b.Mul(b.Const(0.5), b.Square(x[2])))
+		return b.Add(b.Tanh(inner), b.Mul(x[3], b.Sin(x[0])))
+	})
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 4)
+		u := make([]float64, 4)
+		v := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			u[i] = rng.NormFloat64()
+			v[i] = rng.NormFloat64()
+		}
+		hu := make([]float64, 4)
+		hv := make([]float64, 4)
+		g.HVP(x, u, hu)
+		g.HVP(x, v, hv)
+		var uhv, vhu float64
+		for i := range u {
+			uhv += u[i] * hv[i]
+			vhu += v[i] * hu[i]
+		}
+		return math.Abs(uhv-vhu) <= 1e-9*(1+math.Abs(uhv))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGradientLinearity: ∇(a·f + b·g) = a∇f + b∇g, built as graphs.
+func TestQuickGradientLinearity(t *testing.T) {
+	check := func(seed int64, araw, braw float64) bool {
+		if math.IsNaN(araw) || math.IsInf(araw, 0) || math.IsNaN(braw) || math.IsInf(braw, 0) {
+			return true
+		}
+		a := math.Mod(araw, 5)
+		c := math.Mod(braw, 5)
+		fProg := func(b *Builder, x []Ref) Ref { return b.Sin(b.Mul(x[0], x[1])) }
+		gProg := func(b *Builder, x []Ref) Ref { return b.Exp(b.Mul(b.Const(0.3), b.Sub(x[0], x[1]))) }
+		combo := Compile(2, func(b *Builder, x []Ref) Ref {
+			return b.Add(b.Mul(b.Const(a), fProg(b, x)), b.Mul(b.Const(c), gProg(b, x)))
+		})
+		fg := Compile(2, fProg)
+		gg := Compile(2, gProg)
+
+		rng := rand.New(rand.NewSource(seed))
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		gradCombo := make([]float64, 2)
+		gradF := make([]float64, 2)
+		gradG := make([]float64, 2)
+		combo.Grad(x, gradCombo)
+		fg.Grad(x, gradF)
+		gg.Grad(x, gradG)
+		for i := range x {
+			want := a*gradF[i] + c*gradG[i]
+			if math.Abs(gradCombo[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package autodiff
+
+// Tangent builds, at the graph level, the forward-mode derivative program
+//
+//	s(x, v) = ∇f(x)ᵀ v
+//
+// as a new Graph with 2d variables: the first d are x, the last d are the
+// direction v. This is the graph-transform analogue of JAX's jvp, and it
+// composes with the numeric differentiators: for instance, an HVP of the
+// tangent graph with direction (w, 0) yields ∇ₓ(∇f(x)ᵀv)·w-style third-order
+// directional derivatives. AutoMon uses it to compute the analytic gradient
+// of vᵀH(x)v (Hellmann–Feynman term) inside the extreme-eigenvalue search.
+func (g *Graph) Tangent() *Graph {
+	d := len(g.vars)
+	b := NewBuilder(2 * d)
+	xs := b.Vars()[:d]
+	vs := b.Vars()[d:]
+
+	// val[i] / tan[i]: refs in the new graph for the value and tangent of
+	// node i of the source graph.
+	val := make([]Ref, len(g.nodes))
+	tan := make([]Ref, len(g.nodes))
+	zero := b.Const(0)
+
+	for i, n := range g.nodes {
+		switch n.op {
+		case OpConst:
+			val[i] = b.Const(n.k)
+			tan[i] = zero
+		case OpVar:
+			val[i] = xs[int(n.k)]
+			tan[i] = vs[int(n.k)]
+		case OpAdd:
+			val[i] = b.Add(val[n.a], val[n.b])
+			tan[i] = b.Add(tan[n.a], tan[n.b])
+		case OpSub:
+			val[i] = b.Sub(val[n.a], val[n.b])
+			tan[i] = b.Sub(tan[n.a], tan[n.b])
+		case OpMul:
+			val[i] = b.Mul(val[n.a], val[n.b])
+			tan[i] = b.Add(b.Mul(tan[n.a], val[n.b]), b.Mul(val[n.a], tan[n.b]))
+		case OpDiv:
+			val[i] = b.Div(val[n.a], val[n.b])
+			// (ṫa - q·ṫb)/b with q = a/b
+			tan[i] = b.Div(b.Sub(tan[n.a], b.Mul(val[i], tan[n.b])), val[n.b])
+		case OpNeg:
+			val[i] = b.Neg(val[n.a])
+			tan[i] = b.Neg(tan[n.a])
+		case OpTanh:
+			val[i] = b.Tanh(val[n.a])
+			tan[i] = b.Mul(b.Sub(b.Const(1), b.Square(val[i])), tan[n.a])
+		case OpRelu:
+			val[i] = b.Relu(val[n.a])
+			tan[i] = b.Mul(b.Step(val[n.a]), tan[n.a])
+		case OpStep:
+			val[i] = b.Step(val[n.a])
+			tan[i] = zero
+		case OpSigmoid:
+			val[i] = b.Sigmoid(val[n.a])
+			tan[i] = b.Mul(b.Mul(val[i], b.Sub(b.Const(1), val[i])), tan[n.a])
+		case OpExp:
+			val[i] = b.Exp(val[n.a])
+			tan[i] = b.Mul(val[i], tan[n.a])
+		case OpLog:
+			val[i] = b.Log(val[n.a])
+			tan[i] = b.Div(tan[n.a], val[n.a])
+		case OpSin:
+			val[i] = b.Sin(val[n.a])
+			tan[i] = b.Mul(b.Cos(val[n.a]), tan[n.a])
+		case OpCos:
+			val[i] = b.Cos(val[n.a])
+			tan[i] = b.Neg(b.Mul(b.Sin(val[n.a]), tan[n.a]))
+		case OpSqrt:
+			val[i] = b.Sqrt(val[n.a])
+			tan[i] = b.Div(tan[n.a], b.Mul(b.Const(2), val[i]))
+		case OpSquare:
+			val[i] = b.Square(val[n.a])
+			tan[i] = b.Mul(b.Mul(b.Const(2), val[n.a]), tan[n.a])
+		case OpPowi:
+			k := int(n.k)
+			val[i] = b.Powi(val[n.a], k)
+			tan[i] = b.Mul(b.Mul(b.Const(n.k), b.Powi(val[n.a], k-1)), tan[n.a])
+		case OpAbs:
+			val[i] = b.Abs(val[n.a])
+			tan[i] = b.Mul(b.Sign(val[n.a]), tan[n.a])
+		case OpSign:
+			val[i] = b.Sign(val[n.a])
+			tan[i] = zero
+		default:
+			panic("autodiff: unknown op in Tangent: " + n.op.String())
+		}
+	}
+	return b.Finish(tan[g.out])
+}

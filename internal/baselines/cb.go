@@ -1,0 +1,93 @@
+// Package baselines implements the hand-crafted comparison methods of the
+// evaluation. Centralization and Periodic live in internal/sim (they are
+// trivial schedules); this package provides CB — the Convex Bound method of
+// Lazerson et al. [41] — as a drop-in ZoneBuilder for the GM protocol in
+// internal/core. For the inner product, CB uses the identity
+//
+//	⟨u, v⟩ = ¼‖u+v‖² − ¼‖u−v‖²
+//
+// as a manually derived convex difference, with the §3.3 tangent-plane
+// constraints. The paper proves this is equivalent to what ADCD-E derives
+// automatically (§4.3); keeping an independent implementation lets the
+// benches confirm that equivalence empirically.
+package baselines
+
+import (
+	"automon/internal/core"
+	"automon/internal/linalg"
+)
+
+// ConvexBoundInnerProduct returns a core.Config ZoneBuilder implementing the
+// CB safe zone for f([u, v]) = ⟨u, v⟩ with u, v ∈ R^half.
+func ConvexBoundInnerProduct(half int) func(f *core.Function, x0 []float64, l, u float64) *core.SafeZone {
+	g := func(x []float64) float64 { // ¼‖u+v‖²
+		var s float64
+		for i := 0; i < half; i++ {
+			t := x[i] + x[half+i]
+			s += t * t
+		}
+		return 0.25 * s
+	}
+	h := func(x []float64) float64 { // ¼‖u−v‖²
+		var s float64
+		for i := 0; i < half; i++ {
+			t := x[i] - x[half+i]
+			s += t * t
+		}
+		return 0.25 * s
+	}
+	// Gradients: ∇g = ½[(u+v); (u+v)], ∇h = ½[(u−v); −(u−v)].
+	gradG := func(x, out []float64) {
+		for i := 0; i < half; i++ {
+			s := 0.5 * (x[i] + x[half+i])
+			out[i] = s
+			out[half+i] = s
+		}
+	}
+	gradH := func(x, out []float64) {
+		for i := 0; i < half; i++ {
+			s := 0.5 * (x[i] - x[half+i])
+			out[i] = s
+			out[half+i] = -s
+		}
+	}
+
+	return func(f *core.Function, x0 []float64, l, u float64) *core.SafeZone {
+		d := 2 * half
+		g0 := g(x0)
+		h0 := h(x0)
+		dg := make([]float64, d)
+		dh := make([]float64, d)
+		gradG(x0, dg)
+		gradH(x0, dh)
+		grad := make([]float64, d)
+		f0 := f.Grad(x0, grad)
+		return &core.SafeZone{
+			Method: core.MethodCustom,
+			Kind:   core.ConvexDiff,
+			X0:     linalg.Clone(x0),
+			F0:     f0,
+			GradF0: grad,
+			L:      l,
+			U:      u,
+			// Constraints (4) of §3.3 on the hand-crafted decomposition:
+			//   g(x) ≤ h(x0) + ∇h(x0)ᵀ(x−x0) + U
+			//   h(x) ≤ g(x0) + ∇g(x0)ᵀ(x−x0) − L
+			Custom: func(_ *core.Function, v []float64) bool {
+				var linH, linG float64
+				for i := range v {
+					diff := v[i] - x0[i]
+					linH += dh[i] * diff
+					linG += dg[i] * diff
+				}
+				if g(v) > h0+linH+u {
+					return false
+				}
+				if h(v) > g0+linG-l {
+					return false
+				}
+				return true
+			},
+		}
+	}
+}

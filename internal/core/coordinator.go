@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"automon/internal/linalg"
+)
+
+// ErrorType selects the approximation semantics used to set thresholds from
+// f(x0) and ε (§2).
+type ErrorType uint8
+
+const (
+	// Additive: L = f(x0) − ε, U = f(x0) + ε.
+	Additive ErrorType = iota
+	// Multiplicative: L, U = (1 ∓ ε)·f(x0), ordered correctly for negative
+	// values of f(x0).
+	Multiplicative
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Epsilon is the approximation error bound ε.
+	Epsilon float64
+	// ErrorType selects additive (default) or multiplicative approximation.
+	ErrorType ErrorType
+	// R is the ADCD-X neighborhood radius. Use Tune (tuning.go) to pick it
+	// automatically; ignored for ADCD-E and the no-ADCD ablation.
+	R float64
+	// DisableADCD switches to the §4.6 ablation: the admissible region is
+	// used directly as the (generally non-convex) local constraint.
+	DisableADCD bool
+	// ForceADCDX monitors a constant-Hessian function with ADCD-X anyway;
+	// used by tests and the ablation benches.
+	ForceADCDX bool
+	// DisableSlack zeroes all slack vectors. Disabling slack also disables
+	// lazy sync, matching the paper's ablation.
+	DisableSlack bool
+	// DisableLazySync resolves every safe-zone violation with a full sync.
+	DisableLazySync bool
+	// RDoubleAfter is the number of consecutive neighborhood violations
+	// (with no intervening safe-zone violations) after which r is doubled.
+	// 0 means the paper default of 5n.
+	RDoubleAfter int
+	// Decomp configures the ADCD-X eigenvalue search.
+	Decomp DecompOptions
+	// ZoneBuilder, when set, replaces ADCD entirely with a hand-crafted safe
+	// zone (used to plug GM baselines such as Convex Bound into the same
+	// protocol). Such zones are delivered to nodes in-memory.
+	ZoneBuilder func(f *Function, x0 []float64, l, u float64) *SafeZone
+}
+
+// NodeComm abstracts the coordinator→node side of the messaging fabric. The
+// simulation counts calls as messages; the transport layer sends real bytes.
+// RequestData accounts for a DataRequest and its DataResponse.
+type NodeComm interface {
+	RequestData(nodeID int) []float64
+	SendSync(nodeID int, m *Sync)
+	SendSlack(nodeID int, m *Slack)
+}
+
+// CoordStats aggregates protocol events on the coordinator.
+type CoordStats struct {
+	FullSyncs              int
+	LazyAttempts           int
+	LazyResolved           int
+	NeighborhoodViolations int
+	SafeZoneViolations     int
+	FaultyViolations       int
+	RDoublings             int
+}
+
+// Coordinator is the AutoMon coordinator algorithm (Algorithm 1, lines 1–8)
+// plus slack management, LRU lazy sync, and the neighborhood-doubling
+// fallback heuristic of §3.6.
+type Coordinator struct {
+	F    *Function
+	N    int
+	Cfg  Config
+	comm NodeComm
+
+	x0     []float64
+	zone   *SafeZone
+	r      float64
+	lastX  [][]float64
+	slacks [][]float64
+	eDec   *EDecomposition
+	method Method
+
+	sentMatrix  bool
+	lru         []int // least recently balanced first
+	consecNeigh int
+
+	Stats CoordStats
+}
+
+// NewCoordinator creates a coordinator for n nodes over function f. The
+// monitoring method is chosen automatically: ADCD-E when the computational
+// graph proves a constant Hessian, otherwise ADCD-X (or the no-ADCD ablation
+// when configured).
+func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator {
+	if cfg.RDoubleAfter <= 0 {
+		cfg.RDoubleAfter = 5 * n
+	}
+	if cfg.DisableSlack {
+		cfg.DisableLazySync = true
+	}
+	c := &Coordinator{
+		F:    f,
+		N:    n,
+		Cfg:  cfg,
+		comm: comm,
+		r:    cfg.R,
+	}
+	c.lastX = make([][]float64, n)
+	c.slacks = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		c.lastX[i] = make([]float64, f.Dim())
+		c.slacks[i] = make([]float64, f.Dim())
+		c.lru = append(c.lru, i)
+	}
+	switch {
+	case cfg.ZoneBuilder != nil:
+		c.method = MethodCustom
+	case cfg.DisableADCD:
+		c.method = MethodNone
+	case f.HasConstantHessian() && !cfg.ForceADCDX:
+		c.method = MethodE
+	default:
+		c.method = MethodX
+	}
+	return c
+}
+
+// Method returns the automatically selected ADCD variant.
+func (c *Coordinator) Method() Method { return c.method }
+
+// R returns the current neighborhood radius (it can grow via the doubling
+// heuristic).
+func (c *Coordinator) R() float64 { return c.r }
+
+// Estimate returns the coordinator's current approximation f(x0).
+func (c *Coordinator) Estimate() float64 {
+	if c.zone == nil {
+		return math.NaN()
+	}
+	return c.zone.F0
+}
+
+// Zone returns the current safe zone (nil before Init).
+func (c *Coordinator) Zone() *SafeZone { return c.zone }
+
+// Init pulls all local vectors and performs the first full sync. It must be
+// called once, after the nodes hold their initial vectors.
+func (c *Coordinator) Init() error {
+	for i := 0; i < c.N; i++ {
+		copy(c.lastX[i], c.comm.RequestData(i))
+	}
+	return c.fullSync(nil)
+}
+
+// Resync forces a full synchronization: fresh data pull, new reference
+// point, thresholds, and safe zones. Applications use it to re-engage
+// AutoMon after falling back to another monitoring scheme (the §6
+// "switching on the fly" extension).
+func (c *Coordinator) Resync() error { return c.fullSync(nil) }
+
+// HandleViolation is the coordinator's reaction to a node-reported
+// violation: lazy sync for safe-zone violations (when enabled), a full sync
+// otherwise. The violation's embedded vector refreshes the coordinator's
+// view of that node.
+func (c *Coordinator) HandleViolation(v *Violation) error {
+	copy(c.lastX[v.NodeID], v.X)
+	fresh := map[int]bool{v.NodeID: true}
+
+	switch v.Kind {
+	case ViolationNeighborhood:
+		c.Stats.NeighborhoodViolations++
+		c.consecNeigh++
+		if c.consecNeigh >= c.Cfg.RDoubleAfter {
+			// §3.6 fallback: tuning data became unrepresentative; widen B.
+			c.r *= 2
+			c.consecNeigh = 0
+			c.Stats.RDoublings++
+		}
+		return c.fullSync(fresh)
+	case ViolationFaulty:
+		c.Stats.FaultyViolations++
+		return c.fullSync(fresh)
+	case ViolationSafeZone:
+		c.Stats.SafeZoneViolations++
+		c.consecNeigh = 0
+		if c.Cfg.DisableLazySync {
+			return c.fullSync(fresh)
+		}
+		if c.lazySync(v, fresh) {
+			return nil
+		}
+		return c.fullSync(fresh)
+	}
+	return fmt.Errorf("core: unknown violation kind %v", v.Kind)
+}
+
+// lazySync implements the balancing protocol: starting from the violator, it
+// adds least-recently-used nodes to the balancing set until the mean of
+// their slacked vectors re-enters the safe zone, then rebalances their slack
+// so each sits exactly at the mean. Returns false when more than half the
+// nodes were pulled without resolution; the caller then falls back to a full
+// sync (which reuses the vectors pulled here via fresh).
+func (c *Coordinator) lazySync(v *Violation, fresh map[int]bool) bool {
+	c.Stats.LazyAttempts++
+	d := c.F.Dim()
+	set := []int{v.NodeID}
+	c.touchLRU(v.NodeID)
+
+	sum := make([]float64, d)
+	linalg.Add(sum, c.lastX[v.NodeID], c.slacks[v.NodeID])
+
+	mean := make([]float64, d)
+	for {
+		if len(set) > c.N/2 {
+			return false
+		}
+		next := c.pickLRU(set)
+		if next < 0 {
+			return false
+		}
+		copy(c.lastX[next], c.comm.RequestData(next))
+		fresh[next] = true
+		set = append(set, next)
+		c.touchLRU(next)
+		for i := 0; i < d; i++ {
+			sum[i] += c.lastX[next][i] + c.slacks[next][i]
+		}
+		linalg.Scale(mean, 1/float64(len(set)), sum)
+		if c.zone.InNeighborhood(mean) && c.zone.Contains(c.F, mean) &&
+			c.zone.InAdmissibleRegion(c.F, mean) {
+			break
+		}
+	}
+
+	// Rebalance: v_j ← mean for every j in the set, i.e. s_j = mean − x_j.
+	// The per-set slack total is preserved, so Σᵢ sᵢ = 0 still holds and the
+	// monitored average remains the true average.
+	for _, j := range set {
+		linalg.Sub(c.slacks[j], mean, c.lastX[j])
+		c.comm.SendSlack(j, &Slack{NodeID: j, Slack: linalg.Clone(c.slacks[j])})
+	}
+	c.Stats.LazyResolved++
+	return true
+}
+
+// pickLRU returns the least-recently-used node not already in set, or -1.
+func (c *Coordinator) pickLRU(set []int) int {
+	inSet := func(id int) bool {
+		for _, s := range set {
+			if s == id {
+				return true
+			}
+		}
+		return false
+	}
+	for _, id := range c.lru {
+		if !inSet(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// touchLRU marks a node as most recently used.
+func (c *Coordinator) touchLRU(id int) {
+	for i, v := range c.lru {
+		if v == id {
+			copy(c.lru[i:], c.lru[i+1:])
+			c.lru[len(c.lru)-1] = id
+			return
+		}
+	}
+}
+
+// Thresholds derives (L, U) from f(x0) under the configured error type.
+func (c *Coordinator) Thresholds(f0 float64) (l, u float64) {
+	if c.Cfg.ErrorType == Multiplicative {
+		a := (1 - c.Cfg.Epsilon) * f0
+		b := (1 + c.Cfg.Epsilon) * f0
+		return math.Min(a, b), math.Max(a, b)
+	}
+	return f0 - c.Cfg.Epsilon, f0 + c.Cfg.Epsilon
+}
+
+// fullSync is Algorithm 1's CoordinatorFullSync: pull all vectors (minus the
+// ones already fresh in this resolution), recompute x0, thresholds, the DC
+// decomposition and safe zone, reset slack, and sync every node.
+func (c *Coordinator) fullSync(fresh map[int]bool) error {
+	c.Stats.FullSyncs++
+	d := c.F.Dim()
+	for i := 0; i < c.N; i++ {
+		if fresh[i] {
+			continue
+		}
+		copy(c.lastX[i], c.comm.RequestData(i))
+	}
+	if c.x0 == nil {
+		c.x0 = make([]float64, d)
+	}
+	linalg.Mean(c.x0, c.lastX...)
+	c.clampToDomain(c.x0)
+
+	f0 := c.F.Value(c.x0)
+	l, u := c.Thresholds(f0)
+
+	var zone *SafeZone
+	var err error
+	switch c.method {
+	case MethodCustom:
+		zone = c.Cfg.ZoneBuilder(c.F, c.x0, l, u)
+	case MethodNone:
+		zone = BuildZoneNone(c.F, c.x0, l, u)
+	case MethodE:
+		if c.eDec == nil {
+			c.eDec, err = DecomposeE(c.F, c.x0)
+			if err != nil {
+				return err
+			}
+		}
+		zone = BuildZoneE(c.F, c.eDec, c.x0, l, u)
+	case MethodX:
+		bLo, bHi := NeighborhoodBox(c.F, c.x0, c.r)
+		zone, err = BuildZoneX(c.F, c.x0, l, u, bLo, bHi, c.Cfg.Decomp)
+		if err != nil {
+			return err
+		}
+	}
+	c.zone = zone
+
+	for i := 0; i < c.N; i++ {
+		if c.Cfg.DisableSlack {
+			for j := range c.slacks[i] {
+				c.slacks[i][j] = 0
+			}
+		} else {
+			linalg.Sub(c.slacks[i], c.x0, c.lastX[i])
+		}
+		m := &Sync{
+			NodeID: i,
+			Method: zone.Method,
+			Kind:   zone.Kind,
+			X0:     linalg.Clone(c.x0),
+			F0:     zone.F0,
+			GradF0: linalg.Clone(zone.GradF0),
+			L:      l,
+			U:      u,
+			Lam:    zone.Lam,
+			R:      c.r,
+			Slack:  linalg.Clone(c.slacks[i]),
+		}
+		if c.method == MethodE && !c.sentMatrix {
+			m.WithMatrix = true
+			if zone.Kind == ConvexDiff {
+				m.Matrix = zone.HMinus
+			} else {
+				m.Matrix = zone.HPlus
+			}
+		}
+		if c.method == MethodCustom {
+			m.Zone = zone
+		}
+		c.comm.SendSync(i, m)
+	}
+	if c.method == MethodE {
+		c.sentMatrix = true
+	}
+	return nil
+}
+
+// clampToDomain keeps the reference point inside D; averaging cannot leave
+// a convex domain box, but numerical round-off at the boundary can.
+func (c *Coordinator) clampToDomain(x []float64) {
+	if c.F.DomainLo != nil {
+		for i := range x {
+			if x[i] < c.F.DomainLo[i] {
+				x[i] = c.F.DomainLo[i]
+			}
+		}
+	}
+	if c.F.DomainHi != nil {
+		for i := range x {
+			if x[i] > c.F.DomainHi[i] {
+				x[i] = c.F.DomainHi[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"automon/internal/linalg"
+	"automon/internal/optimize"
+)
+
+// DecompOptions configure the ADCD decomposition step.
+type DecompOptions struct {
+	// OptStarts is the number of multi-start points for the eigenvalue
+	// search (default 2: x0 plus one random point in B).
+	OptStarts int
+	// OptMaxIter caps L-BFGS iterations per start (default 40).
+	OptMaxIter int
+	// OptMaxFunEvals caps objective evaluations per start (default 400).
+	OptMaxFunEvals int
+	// Seed makes the multi-start reproducible.
+	Seed int64
+	// UsePowerIteration estimates the extreme Hessian eigenvalues by
+	// shifted power iteration over Hessian-vector products instead of a
+	// dense eigendecomposition — the §6 scaling extension. Cheaper per
+	// evaluation at high dimension; slightly less accurate when the
+	// spectral gap is small (the §3.7 sanity check covers the slack).
+	UsePowerIteration bool
+	// PowerIters bounds the power-iteration count (default 100).
+	PowerIters int
+}
+
+func (o *DecompOptions) defaults() {
+	if o.OptStarts <= 0 {
+		o.OptStarts = 2
+	}
+	if o.OptMaxIter <= 0 {
+		o.OptMaxIter = 40
+	}
+	if o.OptMaxFunEvals <= 0 {
+		o.OptMaxFunEvals = 400
+	}
+}
+
+// EDecomposition holds the one-time ADCD-E artifacts for a constant-Hessian
+// function: the split H = H⁻ + H⁺ and the extreme eigenvalues.
+type EDecomposition struct {
+	HMinus, HPlus  *linalg.Mat
+	LamMin, LamMax float64
+	Kind           DCKind
+}
+
+// DecomposeE computes the ADCD-E decomposition (Lemma 2). It must only be
+// called for functions with constant Hessians; the Hessian is evaluated at
+// x0 (any point gives the same matrix).
+func DecomposeE(f *Function, x0 []float64) (*EDecomposition, error) {
+	d := f.Dim()
+	h := linalg.NewMat(d, d)
+	f.Hessian(x0, h)
+	minus, plus, err := linalg.SplitPSD(h)
+	if err != nil {
+		return nil, fmt.Errorf("core: ADCD-E eigendecomposition: %w", err)
+	}
+	lamMin, lamMax, err := linalg.ExtremeEigenvalues(h)
+	if err != nil {
+		return nil, err
+	}
+	return &EDecomposition{
+		HMinus: minus,
+		HPlus:  plus,
+		LamMin: lamMin,
+		LamMax: lamMax,
+		Kind:   chooseKindE(lamMin, lamMax),
+	}, nil
+}
+
+// ExtremeEigsOverBox solves the two §3.1 optimization problems
+//
+//	λ̂min = min_{x∈B} λmin(H(x)),   λ̂max = max_{x∈B} λmax(H(x))
+//
+// using projected L-BFGS with the analytic Hellmann–Feynman gradient and
+// multi-start. Like the SciPy solver in the paper, it may return local
+// optima; the protocol's sanity check (§3.7) guards against that.
+func ExtremeEigsOverBox(f *Function, x0, lo, hi []float64, opts DecompOptions) (lamMin, lamMax float64, err error) {
+	opts.defaults()
+	d := f.Dim()
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	eigsAt := f.ExtremeEigsAt
+	if opts.UsePowerIteration {
+		iters := opts.PowerIters
+		if iters <= 0 {
+			iters = 100
+		}
+		eigsAt = func(x []float64) (float64, float64, []float64, []float64, error) {
+			return f.ExtremeEigsAtPower(x, iters, opts.Seed+2)
+		}
+	}
+
+	grad := make([]float64, d)
+	var evalErr error
+	minObjective := func(x []float64) float64 {
+		lm, _, _, _, e := eigsAt(x)
+		if e != nil {
+			evalErr = e
+			return math.Inf(1)
+		}
+		return lm
+	}
+	minGradient := func(x, g []float64) {
+		_, _, vMin, _, e := eigsAt(x)
+		if e != nil {
+			evalErr = e
+			for i := range g {
+				g[i] = 0
+			}
+			return
+		}
+		f.EigGrad(x, vMin, grad)
+		copy(g, grad)
+	}
+	maxObjective := func(x []float64) float64 {
+		_, lM, _, _, e := eigsAt(x)
+		if e != nil {
+			evalErr = e
+			return math.Inf(1)
+		}
+		return -lM
+	}
+	maxGradient := func(x, g []float64) {
+		_, _, _, vMax, e := eigsAt(x)
+		if e != nil {
+			evalErr = e
+			for i := range g {
+				g[i] = 0
+			}
+			return
+		}
+		f.EigGrad(x, vMax, grad)
+		for i := range g {
+			g[i] = -grad[i]
+		}
+	}
+
+	optOpts := optimize.Options{
+		MaxIter:   opts.OptMaxIter,
+		MaxFunEva: opts.OptMaxFunEvals,
+		GradTol:   1e-5,
+	}
+	optOpts.Gradient = minGradient
+	rMin, err := optimize.MultiStart(minObjective, x0, lo, hi, opts.OptStarts, rng, optOpts)
+	if err != nil {
+		return 0, 0, err
+	}
+	optOpts.Gradient = maxGradient
+	rMax, err := optimize.MultiStart(maxObjective, x0, lo, hi, opts.OptStarts, rng, optOpts)
+	if err != nil {
+		return 0, 0, err
+	}
+	if evalErr != nil {
+		return 0, 0, evalErr
+	}
+	return rMin.F, -rMax.F, nil
+}
+
+// BuildZoneX derives an ADCD-X safe zone around x0 with thresholds L, U and
+// neighborhood box [bLo, bHi] (already intersected with the domain).
+func BuildZoneX(f *Function, x0 []float64, l, u float64, bLo, bHi []float64, opts DecompOptions) (*SafeZone, error) {
+	lamMin, lamMax, err := ExtremeEigsOverBox(f, x0, bLo, bHi, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Lemma 1: λ⁻min = min{0, λmin}, λ⁺max = max{0, λmax}.
+	lamAbsNeg := 0.0
+	if lamMin < 0 {
+		lamAbsNeg = -lamMin
+	}
+	lamPosMax := math.Max(0, lamMax)
+
+	// Eigenvalues of H(x0) for the DC heuristic.
+	h0Min, h0Max, _, _, err := f.ExtremeEigsAt(x0)
+	if err != nil {
+		return nil, err
+	}
+	kind := chooseKindX(h0Min, h0Max, lamAbsNeg, lamPosMax)
+
+	grad := make([]float64, f.Dim())
+	f0 := f.Grad(x0, grad)
+	z := &SafeZone{
+		Method: MethodX,
+		Kind:   kind,
+		X0:     linalg.Clone(x0),
+		F0:     f0,
+		GradF0: grad,
+		L:      l,
+		U:      u,
+		BLo:    linalg.Clone(bLo),
+		BHi:    linalg.Clone(bHi),
+	}
+	if kind == ConvexDiff {
+		z.Lam = lamAbsNeg
+	} else {
+		z.Lam = lamPosMax
+	}
+	return z, nil
+}
+
+// BuildZoneE derives an ADCD-E safe zone around x0 from a precomputed
+// decomposition. ADCD-E constraints are valid over the whole domain, so no
+// neighborhood box is attached.
+func BuildZoneE(f *Function, dec *EDecomposition, x0 []float64, l, u float64) *SafeZone {
+	grad := make([]float64, f.Dim())
+	f0 := f.Grad(x0, grad)
+	return &SafeZone{
+		Method: MethodE,
+		Kind:   dec.Kind,
+		X0:     linalg.Clone(x0),
+		F0:     f0,
+		GradF0: grad,
+		L:      l,
+		U:      u,
+		HMinus: dec.HMinus,
+		HPlus:  dec.HPlus,
+	}
+}
+
+// BuildZoneNone derives the no-ADCD ablation zone: the admissible region
+// itself is used as the local constraint.
+func BuildZoneNone(f *Function, x0 []float64, l, u float64) *SafeZone {
+	grad := make([]float64, f.Dim())
+	f0 := f.Grad(x0, grad)
+	return &SafeZone{
+		Method: MethodNone,
+		X0:     linalg.Clone(x0),
+		F0:     f0,
+		GradF0: grad,
+		L:      l,
+		U:      u,
+	}
+}
+
+// NeighborhoodBox returns the box B = [x0−r, x0+r] ∩ D.
+func NeighborhoodBox(f *Function, x0 []float64, r float64) (lo, hi []float64) {
+	d := len(x0)
+	lo = make([]float64, d)
+	hi = make([]float64, d)
+	for i := 0; i < d; i++ {
+		lo[i] = x0[i] - r
+		hi[i] = x0[i] + r
+		if f.DomainLo != nil && lo[i] < f.DomainLo[i] {
+			lo[i] = f.DomainLo[i]
+		}
+		if f.DomainHi != nil && hi[i] > f.DomainHi[i] {
+			hi[i] = f.DomainHi[i]
+		}
+		if lo[i] > hi[i] { // degenerate: x0 clamped to a domain face
+			lo[i], hi[i] = hi[i], lo[i]
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"automon/internal/linalg"
+)
+
+func TestMessageRoundTrips(t *testing.T) {
+	mat := linalg.NewMat(2, 2)
+	copy(mat.Data, []float64{1, 2, 2, 5})
+	msgs := []Message{
+		&Violation{NodeID: 3, Kind: ViolationSafeZone, X: []float64{1.5, -2.25}},
+		&Violation{NodeID: 0, Kind: ViolationNeighborhood, X: []float64{}},
+		&Violation{NodeID: 7, Kind: ViolationFaulty, X: []float64{0}},
+		&DataRequest{NodeID: 12},
+		&DataResponse{NodeID: 12, X: []float64{3, 4, 5}},
+		&Sync{
+			NodeID: 1, Method: MethodX, Kind: ConcaveDiff,
+			X0: []float64{0.5, -0.5}, F0: 2.5, GradF0: []float64{1, -1},
+			L: 2, U: 3, Lam: 0.75, R: 0.1, Slack: []float64{0.01, -0.01},
+		},
+		&Sync{
+			NodeID: 2, Method: MethodE, Kind: ConvexDiff,
+			X0: []float64{1, 2}, F0: 0, GradF0: []float64{0, 0},
+			L: -1, U: 1, Slack: []float64{0, 0},
+			WithMatrix: true, Matrix: mat,
+		},
+		&Slack{NodeID: 9, Slack: []float64{-0.5, 0.25, 0}},
+	}
+	for _, m := range msgs {
+		buf := m.Encode()
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%v: round trip mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := (&Sync{
+		NodeID: 1, Method: MethodX, Kind: ConvexDiff,
+		X0: []float64{1, 2}, GradF0: []float64{3, 4}, Slack: []float64{5, 6},
+	}).Encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	if _, err := Decode([]byte{0xFF, 0, 0}); err == nil {
+		t.Fatal("unknown type not rejected")
+	}
+}
+
+func TestViolationMessageSizeScalesWithDim(t *testing.T) {
+	small := (&Violation{NodeID: 1, Kind: ViolationSafeZone, X: make([]float64, 10)}).Encode()
+	big := (&Violation{NodeID: 1, Kind: ViolationSafeZone, X: make([]float64, 100)}).Encode()
+	if len(big)-len(small) != 90*8 {
+		t.Fatalf("payload scaling wrong: %d vs %d bytes", len(small), len(big))
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"automon/internal/linalg"
+)
+
+// Node is the AutoMon node algorithm (Algorithm 1, lines 9–14). It holds the
+// local vector, the slack assigned by the coordinator, and the current safe
+// zone, and checks the local constraints on every data update. Nodes never
+// talk to each other; all returned Violations are addressed to the
+// coordinator via whatever messaging fabric the application uses.
+type Node struct {
+	ID int
+	F  *Function
+
+	x     []float64 // current raw local vector
+	slack []float64
+	v     []float64 // scratch: slacked vector x + s
+
+	zone     *SafeZone
+	haveZone bool
+
+	// matrix retained across syncs for ADCD-E (shipped once).
+	eMatrix *linalg.Mat
+}
+
+// NewNode creates a node for function f. The node is inert until the first
+// Sync message arrives.
+func NewNode(id int, f *Function) *Node {
+	d := f.Dim()
+	return &Node{
+		ID:    id,
+		F:     f,
+		x:     make([]float64, d),
+		slack: make([]float64, d),
+		v:     make([]float64, d),
+	}
+}
+
+// LocalVector returns the node's current raw local vector (the payload of a
+// DataResponse). The returned slice is a copy.
+func (n *Node) LocalVector() []float64 { return linalg.Clone(n.x) }
+
+// SetData replaces the local vector without checking constraints.
+func (n *Node) SetData(x []float64) {
+	copy(n.x, x)
+}
+
+// UpdateData replaces the local vector and checks the local constraints,
+// returning a Violation to forward to the coordinator, or nil when all
+// constraints hold (no communication needed). Before the first sync the node
+// is silent.
+func (n *Node) UpdateData(x []float64) *Violation {
+	n.SetData(x)
+	return n.Check()
+}
+
+// Check evaluates the local constraints against the current vector:
+// neighborhood first, then the ADCD safe zone, then the §3.7 sanity check.
+func (n *Node) Check() *Violation {
+	if !n.haveZone {
+		return nil
+	}
+	linalg.Add(n.v, n.x, n.slack)
+	z := n.zone
+	if !z.InNeighborhood(n.v) {
+		return &Violation{NodeID: n.ID, Kind: ViolationNeighborhood, X: n.LocalVector()}
+	}
+	if !z.Contains(n.F, n.v) {
+		return &Violation{NodeID: n.ID, Kind: ViolationSafeZone, X: n.LocalVector()}
+	}
+	if z.Method != MethodNone && !z.InAdmissibleRegion(n.F, n.v) {
+		return &Violation{NodeID: n.ID, Kind: ViolationFaulty, X: n.LocalVector()}
+	}
+	return nil
+}
+
+// CurrentValue returns the node's current approximation of f(x̄), namely
+// f(x0) from the last sync. It returns 0 before the first sync.
+func (n *Node) CurrentValue() float64 {
+	if !n.haveZone {
+		return 0
+	}
+	return n.zone.F0
+}
+
+// ApplySync installs a new safe zone and slack from the coordinator.
+func (n *Node) ApplySync(m *Sync) {
+	if m.Zone != nil { // hand-crafted (MethodCustom) zone, in-memory only
+		n.zone = m.Zone
+		n.haveZone = true
+		copy(n.slack, m.Slack)
+		return
+	}
+	if m.WithMatrix {
+		n.eMatrix = m.Matrix
+	}
+	z := &SafeZone{
+		Method: m.Method,
+		Kind:   m.Kind,
+		X0:     linalg.Clone(m.X0),
+		F0:     m.F0,
+		GradF0: linalg.Clone(m.GradF0),
+		L:      m.L,
+		U:      m.U,
+		Lam:    m.Lam,
+	}
+	switch m.Method {
+	case MethodX:
+		z.BLo, z.BHi = NeighborhoodBox(n.F, m.X0, m.R)
+	case MethodE:
+		if m.Kind == ConvexDiff {
+			z.HMinus = n.eMatrix
+		} else {
+			z.HPlus = n.eMatrix
+		}
+	}
+	n.zone = z
+	n.haveZone = true
+	copy(n.slack, m.Slack)
+}
+
+// ApplySlack installs a rebalanced slack vector from a lazy sync.
+func (n *Node) ApplySlack(m *Slack) {
+	copy(n.slack, m.Slack)
+}
+
+// Zone exposes the node's current safe zone (nil before the first sync);
+// used by tests and by diagnostic tooling.
+func (n *Node) Zone() *SafeZone {
+	if !n.haveZone {
+		return nil
+	}
+	return n.zone
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtremeEigsAtPowerMatchesDense(t *testing.T) {
+	f := cubicFunc()
+	for _, x := range [][]float64{{1, 0}, {0.5, -0.3}, {-1, 2}} {
+		wLo, wHi, _, _, err := f.ExtremeEigsAt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gLo, gHi, _, _, err := f.ExtremeEigsAtPower(x, 2000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := 1 + math.Abs(wLo) + math.Abs(wHi)
+		if math.Abs(gLo-wLo) > 1e-4*scale || math.Abs(gHi-wHi) > 1e-4*scale {
+			t.Fatalf("x=%v: power (%v, %v) vs dense (%v, %v)", x, gLo, gHi, wLo, wHi)
+		}
+	}
+}
+
+func TestBuildZoneXWithPowerIteration(t *testing.T) {
+	// The whole ADCD-X pipeline must work with the power-iteration spectrum
+	// estimator, and remain sound: zone ⊆ admissible region.
+	f := rosenbrockFunc()
+	x0 := []float64{0.1, 0.05}
+	bLo, bHi := NeighborhoodBox(f, x0, 0.5)
+	f0 := f.Value(x0)
+	zone, err := BuildZoneX(f, x0, f0-1, f0+1, bLo, bHi,
+		DecompOptions{Seed: 1, UsePowerIteration: true, PowerIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := BuildZoneX(f, x0, f0-1, f0+1, bLo, bHi, DecompOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two estimators should find comparable curvature bounds.
+	if dense.Lam > 1 && math.Abs(zone.Lam-dense.Lam)/dense.Lam > 0.1 {
+		t.Fatalf("power Lam = %v, dense Lam = %v", zone.Lam, dense.Lam)
+	}
+	// Soundness sampling, as in the dense test.
+	for i := 0; i < 2000; i++ {
+		v := []float64{
+			bLo[0] + float64(i%45)/45*(bHi[0]-bLo[0]),
+			bLo[1] + float64(i/45)/45*(bHi[1]-bLo[1]),
+		}
+		if zone.Contains(f, v) && !zone.InAdmissibleRegion(f, v) {
+			t.Fatalf("power-iteration zone leaked outside admissible region at %v", v)
+		}
+	}
+}

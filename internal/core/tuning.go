@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TuningData is a replayable prefix of the monitoring task: per round, the
+// local vector of every node (rounds × nodes × dim). The first round also
+// provides the initial vectors for the protocol's initial full sync.
+type TuningData [][][]float64
+
+// Validate checks the data is rectangular and matches the function.
+func (t TuningData) Validate(f *Function, n int) error {
+	if len(t) < 2 {
+		return errors.New("core: tuning data needs at least two rounds")
+	}
+	for r, round := range t {
+		if len(round) != n {
+			return fmt.Errorf("core: tuning round %d has %d nodes, want %d", r, len(round), n)
+		}
+		for i, v := range round {
+			if len(v) != f.Dim() {
+				return fmt.Errorf("core: tuning round %d node %d has dim %d, want %d", r, i, len(v), f.Dim())
+			}
+		}
+	}
+	return nil
+}
+
+// directComm wires a coordinator straight to in-memory nodes; used for
+// tuning replays (and reused by the simulation driver via the same pattern).
+type directComm struct {
+	nodes []*Node
+}
+
+func (c *directComm) RequestData(id int) []float64 { return c.nodes[id].LocalVector() }
+func (c *directComm) SendSync(id int, m *Sync)     { c.nodes[id].ApplySync(m) }
+func (c *directComm) SendSlack(id int, m *Slack)   { c.nodes[id].ApplySlack(m) }
+
+// ReplayCounts reports the violations observed while replaying a dataset.
+type ReplayCounts struct {
+	Neighborhood int
+	SafeZone     int
+	Faulty       int
+}
+
+// Total returns the combined violation count minimized by Algorithm 2.
+func (r ReplayCounts) Total() int { return r.Neighborhood + r.SafeZone + r.Faulty }
+
+// Replay monitors the dataset with the given configuration and returns the
+// violation counts. It is the "monitor with r" primitive of Algorithm 2.
+func Replay(f *Function, data TuningData, n int, cfg Config) (ReplayCounts, error) {
+	if err := data.Validate(f, n); err != nil {
+		return ReplayCounts{}, err
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(i, f)
+		nodes[i].SetData(data[0][i])
+	}
+	coord := NewCoordinator(f, n, cfg, &directComm{nodes})
+	if err := coord.Init(); err != nil {
+		return ReplayCounts{}, err
+	}
+	for _, round := range data[1:] {
+		for i, x := range round {
+			v := nodes[i].UpdateData(x)
+			if v == nil {
+				continue
+			}
+			if err := coord.HandleViolation(v); err != nil {
+				return ReplayCounts{}, err
+			}
+		}
+	}
+	return ReplayCounts{
+		Neighborhood: coord.Stats.NeighborhoodViolations,
+		SafeZone:     coord.Stats.SafeZoneViolations,
+		Faulty:       coord.Stats.FaultyViolations,
+	}, nil
+}
+
+// TuneResult reports the outcome of the neighborhood-size tuning procedure.
+type TuneResult struct {
+	R          float64        // recommended neighborhood size r̂
+	Lo, Hi     float64        // bracketing range searched
+	Counts     ReplayCounts   // violations at the chosen r
+	Replays    int            // number of monitoring replays performed
+	GridCounts []ReplayCounts // violation counts on the final grid
+	GridR      []float64      // the grid itself
+}
+
+// Tune implements Algorithm 2 (Neighborhood Size Tuning): bracket a range
+// [lo, hi] where lo is small enough to eliminate safe-zone violations and hi
+// large enough to eliminate neighborhood violations, then grid-search ten
+// sizes in between for the fewest total violations. cfg.R is ignored.
+func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
+	const maxHalvings = 20
+	res := TuneResult{}
+
+	run := func(r float64) (ReplayCounts, error) {
+		c := cfg
+		c.R = r
+		res.Replays++
+		return Replay(f, data, n, c)
+	}
+
+	// Phase 1: find b with neighborhood violations, starting from 1.
+	b := 1.0
+	var counts ReplayCounts
+	var err error
+	for i := 0; i < maxHalvings; i++ {
+		counts, err = run(b)
+		if err != nil {
+			return res, err
+		}
+		if counts.Neighborhood > 0 {
+			break
+		}
+		b /= 2
+	}
+
+	// Phase 2: push lo down until safe-zone violations vanish, and hi up
+	// until neighborhood violations vanish.
+	lo, hi := b, b
+	for i := 0; i < maxHalvings; i++ {
+		counts, err = run(lo)
+		if err != nil {
+			return res, err
+		}
+		if counts.SafeZone == 0 {
+			break
+		}
+		lo /= 2
+	}
+	for i := 0; i < maxHalvings; i++ {
+		counts, err = run(hi)
+		if err != nil {
+			return res, err
+		}
+		if counts.Neighborhood == 0 {
+			break
+		}
+		hi *= 2
+	}
+
+	// Phase 3: grid search for the minimum total violations.
+	res.Lo, res.Hi = lo, hi
+	const gridSize = 10
+	bestR := lo
+	bestCounts := ReplayCounts{Neighborhood: 1 << 30}
+	for i := 0; i < gridSize; i++ {
+		r := lo + (hi-lo)*float64(i)/float64(gridSize-1)
+		if r <= 0 {
+			continue
+		}
+		counts, err = run(r)
+		if err != nil {
+			return res, err
+		}
+		res.GridR = append(res.GridR, r)
+		res.GridCounts = append(res.GridCounts, counts)
+		if counts.Total() < bestCounts.Total() {
+			bestCounts = counts
+			bestR = r
+		}
+	}
+	res.R = bestR
+	res.Counts = bestCounts
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rosenbrockData samples the §3.6 workload: entries drawn from N(0, 0.2²).
+func rosenbrockData(rng *rand.Rand, rounds, n int) TuningData {
+	data := make(TuningData, rounds)
+	for r := range data {
+		data[r] = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			data[r][i] = []float64{rng.NormFloat64() * 0.2, rng.NormFloat64() * 0.2}
+		}
+	}
+	return data
+}
+
+func TestReplayCountsViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := rosenbrockFunc()
+	data := rosenbrockData(rng, 60, 4)
+	cfg := Config{Epsilon: 0.25, R: 0.05, Decomp: DecompOptions{Seed: 1}}
+	counts, err := Replay(f, data, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny neighborhood on noisy data must produce neighborhood violations.
+	if counts.Neighborhood == 0 {
+		t.Fatalf("expected neighborhood violations with r=0.05, got %+v", counts)
+	}
+}
+
+func TestReplayValidatesData(t *testing.T) {
+	f := rosenbrockFunc()
+	if _, err := Replay(f, TuningData{}, 2, Config{Epsilon: 0.1, R: 1}); err == nil {
+		t.Fatal("empty data must be rejected")
+	}
+	bad := TuningData{{{1, 2}}, {{1, 2}}} // 1 node, expected 2
+	if _, err := Replay(f, bad, 2, Config{Epsilon: 0.1, R: 1}); err == nil {
+		t.Fatal("node-count mismatch must be rejected")
+	}
+	bad2 := TuningData{{{1}, {1}}, {{1}, {1}}} // dim 1, expected 2
+	if _, err := Replay(f, bad2, 2, Config{Epsilon: 0.1, R: 1}); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+}
+
+func TestTuneTradesOffViolationTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := rosenbrockFunc()
+	n := 4
+	data := rosenbrockData(rng, 80, n)
+	cfg := Config{Epsilon: 0.25, Decomp: DecompOptions{Seed: 2}}
+	res, err := Tune(f, data, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R <= 0 {
+		t.Fatalf("tuned r = %v, want > 0", res.R)
+	}
+	if res.R < res.Lo-1e-12 || res.R > res.Hi+1e-12 {
+		t.Fatalf("tuned r %v outside bracket [%v, %v]", res.R, res.Lo, res.Hi)
+	}
+	if len(res.GridR) == 0 {
+		t.Fatal("grid search produced no candidates")
+	}
+	// The tuned r must be at least as good as every grid candidate.
+	for i, c := range res.GridCounts {
+		if c.Total() < res.Counts.Total() {
+			t.Fatalf("grid point r=%v has %d violations < chosen %d", res.GridR[i], c.Total(), res.Counts.Total())
+		}
+	}
+	// And monitoring with the tuned r must beat a pathologically small and a
+	// pathologically large fixed neighborhood.
+	run := func(r float64) int {
+		c := cfg
+		c.R = r
+		counts, err := Replay(f, data, n, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counts.Total()
+	}
+	tuned := run(res.R)
+	tiny := run(res.Lo / 64)
+	if tiny < tuned {
+		t.Fatalf("tiny r (%d violations) beat tuned r (%d)", tiny, tuned)
+	}
+}
+
+func TestTuneIsDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := rosenbrockFunc()
+	data := rosenbrockData(rng, 50, 3)
+	cfg := Config{Epsilon: 0.3, Decomp: DecompOptions{Seed: 5}}
+	r1, err := Tune(f, data, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Tune(f, data, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.R != r2.R {
+		t.Fatalf("tuning not deterministic: %v vs %v", r1.R, r2.R)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"automon/internal/funcs"
+	"automon/internal/stream"
+)
+
+// saddleAblationWorkload builds the §4.6 scenario: f = −x1² + x2² over four
+// nodes whose data starts identical at (0, 0) and slowly drifts apart —
+// nodes 2 and 3 along the zero-level diagonals (the missed-violation
+// geometry), nodes 0 and 1 staying put — with an outlier window for two
+// nodes around 65–70% of the run.
+func saddleAblationWorkload(o Options) *Workload {
+	rounds := o.rounds(1000)
+	nodes := 4
+	rng := rand.New(rand.NewSource(o.Seed + 11))
+	targets := [][]float64{{0, 0}, {0, 0}, {1, 1}, {1, -1}}
+
+	ds := stream.NewCustom("saddle-ablation", nodes, rounds, 1, 2,
+		func(round, node int) []float64 {
+			frac := float64(round) / float64(rounds)
+			x := []float64{
+				targets[node][0] * frac,
+				targets[node][1] * frac,
+			}
+			// Outlier window (§4.6: rounds 650–700 of 1000) for two nodes.
+			if node < 2 && frac >= 0.65 && frac < 0.70 {
+				x[0] += 0.8
+			}
+			x[0] += rng.NormFloat64() * 0.005
+			x[1] += rng.NormFloat64() * 0.005
+			return x
+		})
+	return &Workload{Name: "saddle", F: funcs.Saddle(), Data: ds}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"automon/internal/core"
+	"automon/internal/sim"
+)
+
+// Fig7aDimensions reproduces Figure 7(a): message counts as the input
+// dimension grows (KLD, MLP-d, inner product; n = 12, 1000 rounds each).
+func Fig7aDimensions(o Options) (*Table, error) {
+	t := &Table{
+		Name:   "fig7a: impact of dimension",
+		Header: []string{"function", "dim", "messages", "max_err", "central_messages"},
+	}
+	dims := []int{10, 20, 40, 100, 200}
+	if o.Quick {
+		dims = []int{10, 20, 40, 100}
+	}
+	const nodes = 12
+	for _, d := range dims {
+		for _, mk := range []struct {
+			name string
+			eps  float64
+			make func() (*Workload, error)
+		}{
+			{"inner-product", 0.2, func() (*Workload, error) { return InnerProductWorkload(o, d, nodes), nil }},
+			{"kld", 0.02, func() (*Workload, error) { return KLDWorkload(o, d, nodes, 1000), nil }},
+			{"mlp-d", 0.2, func() (*Workload, error) { return MLPWorkload(o, d, nodes) }},
+		} {
+			w, err := mk.make()
+			if err != nil {
+				return nil, err
+			}
+			res, err := w.run(sim.AutoMon, mk.eps, 0, false)
+			if err != nil {
+				return nil, err
+			}
+			central, err := w.run(sim.Centralization, mk.eps, 0, false)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(mk.name, d, res.Messages, res.MaxErr, central.Messages)
+		}
+	}
+	return t, nil
+}
+
+// Fig7bNodes reproduces Figure 7(b): message counts as the node count grows
+// (MLP-40 and inner product d = 40); the AutoMon/Centralization ratio should
+// stay roughly constant.
+func Fig7bNodes(o Options) (*Table, error) {
+	t := &Table{
+		Name:   "fig7b: impact of node count",
+		Header: []string{"function", "nodes", "messages", "central_messages", "ratio"},
+	}
+	counts := []int{10, 30, 100, 300, 1000}
+	if o.Quick {
+		counts = []int{10, 30, 100, 300}
+	}
+	for _, n := range counts {
+		ip := InnerProductWorkload(o, 40, n)
+		res, err := ip.run(sim.AutoMon, 0.2, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		central, err := ip.run(sim.Centralization, 0.2, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Add("inner-product", n, res.Messages, central.Messages,
+			float64(res.Messages)/float64(central.Messages))
+
+		mlp, err := MLPWorkload(o, 40, n)
+		if err != nil {
+			return nil, err
+		}
+		res, err = mlp.run(sim.AutoMon, 0.2, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		central, err = mlp.run(sim.Centralization, 0.2, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Add("mlp-40", n, res.Messages, central.Messages,
+			float64(res.Messages)/float64(central.Messages))
+	}
+	return t, nil
+}
+
+// Fig8Tuning reproduces Figure 8: messages under the optimal neighborhood
+// size r*, the Algorithm 2 tuned r̂, and fixed sizes r ∈ {0.05, 0.5, 2.5}
+// across error bounds, for Rosenbrock and MLP-2, averaged over repetitions.
+func Fig8Tuning(o Options) (*Table, error) {
+	t := &Table{
+		Name:   "fig8: neighborhood tuning quality",
+		Header: []string{"function", "eps", "strategy", "r", "messages"},
+	}
+	reps := 5
+	if o.Quick {
+		reps = 2
+	}
+	fixed := []float64{0.05, 0.5, 2.5}
+
+	type workloadMaker struct {
+		name string
+		make func(rep int) (*Workload, error)
+		epss []float64
+	}
+	makers := []workloadMaker{
+		{
+			name: "rosenbrock",
+			make: func(rep int) (*Workload, error) {
+				oo := o
+				oo.Seed = o.Seed + int64(100*rep)
+				return RosenbrockWorkload(oo, 10, 1000), nil
+			},
+			epss: []float64{0.1, 0.5, 1.0, 1.5},
+		},
+		{
+			name: "mlp-2",
+			make: func(rep int) (*Workload, error) {
+				oo := o
+				oo.Seed = o.Seed + int64(100*rep)
+				return MLPWorkload(oo, 2, 10)
+			},
+			epss: []float64{0.05, 0.1, 0.2, 0.3},
+		},
+	}
+
+	for _, mk := range makers {
+		type acc struct {
+			msgs float64
+			r    float64
+			n    int
+		}
+		// strategy key → per-eps accumulation
+		sums := map[string]map[float64]*acc{}
+		record := func(strategy string, eps, r float64, msgs int) {
+			if sums[strategy] == nil {
+				sums[strategy] = map[float64]*acc{}
+			}
+			a := sums[strategy][eps]
+			if a == nil {
+				a = &acc{}
+				sums[strategy][eps] = a
+			}
+			a.msgs += float64(msgs)
+			a.r += r
+			a.n++
+		}
+		for rep := 0; rep < reps; rep++ {
+			w, err := mk.make(rep)
+			if err != nil {
+				return nil, err
+			}
+			tuneData, err := replayData(&Workload{
+				Name: w.Name, F: w.F,
+				Data:   w.Data.Slice(0, o.rounds(200)),
+				Decomp: w.Decomp,
+			})
+			if err != nil {
+				return nil, err
+			}
+			evalData := w.Data.Slice(o.rounds(200), w.Data.Rounds)
+			runWith := func(eps, r float64) (int, error) {
+				res, err := sim.Run(sim.Config{
+					F: w.F, Data: evalData, Algorithm: sim.AutoMon,
+					Core: core.Config{Epsilon: eps, R: r, Decomp: w.Decomp},
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.Messages, nil
+			}
+			for _, eps := range mk.epss {
+				// Tuned r̂ from Algorithm 2 on the prefix.
+				tuned, err := core.Tune(w.F, tuneData, w.Data.Nodes,
+					core.Config{Epsilon: eps, Decomp: w.Decomp})
+				if err != nil {
+					return nil, err
+				}
+				msgs, err := runWith(eps, tuned.R)
+				if err != nil {
+					return nil, err
+				}
+				record("tuned", eps, tuned.R, msgs)
+
+				// Optimal r*: grid over the evaluation run itself.
+				bestR, bestMsgs := 0.0, -1
+				for _, r := range []float64{0.01, 0.02, 0.04, 0.08, 0.15, 0.3, 0.6, 1.2, 2.5} {
+					m, err := runWith(eps, r)
+					if err != nil {
+						return nil, err
+					}
+					if bestMsgs < 0 || m < bestMsgs {
+						bestR, bestMsgs = r, m
+					}
+				}
+				record("optimal", eps, bestR, bestMsgs)
+
+				for _, r := range fixed {
+					m, err := runWith(eps, r)
+					if err != nil {
+						return nil, err
+					}
+					record("fixed-"+formatR(r), eps, r, m)
+				}
+			}
+		}
+		for strategy, perEps := range sums {
+			for eps, a := range perEps {
+				t.Add(mk.name, eps, strategy, a.r/float64(a.n), int(a.msgs/float64(a.n)))
+			}
+		}
+	}
+	return t, nil
+}
+
+func formatR(r float64) string {
+	switch r {
+	case 0.05:
+		return "0.05"
+	case 0.5:
+		return "0.5"
+	}
+	return "2.5"
+}
+
+// Fig9Ablation reproduces Figure 9: max error and cumulative messages over
+// time for AutoMon, no-ADCD, and no-ADCD-no-slack on −x1²+x2² (4 drifting
+// nodes with outliers) and MLP-2.
+func Fig9Ablation(o Options) (*Table, error) {
+	t := &Table{
+		Name:   "fig9: ablation of ADCD, slack, lazy sync",
+		Header: []string{"function", "variant", "round", "running_max_err", "cum_messages"},
+	}
+
+	addTraces := func(fn, variant string, res *sim.Result) {
+		running := 0.0
+		stride := 1
+		if len(res.ErrTrace) > 400 {
+			stride = len(res.ErrTrace) / 400
+		}
+		for i := 0; i < len(res.ErrTrace); i++ {
+			if res.ErrTrace[i] > running {
+				running = res.ErrTrace[i]
+			}
+			if i%stride == 0 {
+				t.Add(fn, variant, i, running, res.CumMessages[i])
+			}
+		}
+	}
+
+	variants := []struct {
+		name string
+		cfg  func(eps float64) core.Config
+	}{
+		{"automon", func(eps float64) core.Config { return core.Config{Epsilon: eps} }},
+		{"no-adcd", func(eps float64) core.Config { return core.Config{Epsilon: eps, DisableADCD: true} }},
+		{"no-adcd-no-slack", func(eps float64) core.Config {
+			return core.Config{Epsilon: eps, DisableADCD: true, DisableSlack: true}
+		}},
+	}
+
+	// Saddle: 4 nodes, drift along the zero set + outlier window (§4.6).
+	saddle := saddleAblationWorkload(o)
+	for _, v := range variants {
+		cfg := v.cfg(0.02)
+		cfg.Decomp = core.DecompOptions{Seed: o.Seed}
+		res, err := sim.Run(sim.Config{
+			F: saddle.F, Data: saddle.Data, Algorithm: sim.AutoMon, Core: cfg, Trace: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		addTraces("saddle", v.name, res)
+	}
+	central, err := sim.Run(sim.Config{
+		F: saddle.F, Data: saddle.Data, Algorithm: sim.Centralization,
+		Core: core.Config{Epsilon: 0.02}, Trace: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addTraces("saddle", "centralization", central)
+
+	// MLP-2 with the same variants (ε = 0.15).
+	mlp, err := MLPWorkload(o, 2, 10)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range variants {
+		cfg := v.cfg(0.15)
+		cfg.R = 0.3 // fixed across variants so only the ablation differs
+		cfg.Decomp = core.DecompOptions{Seed: o.Seed}
+		res, err := sim.Run(sim.Config{
+			F: mlp.F, Data: mlp.Data, Algorithm: sim.AutoMon, Core: cfg, Trace: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		addTraces("mlp-2", v.name, res)
+	}
+	return t, nil
+}

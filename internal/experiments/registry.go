@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NamedWorkload resolves a workload by name for the CLI tools. Recognized
+// names: inner-product[-d], quadratic[-d], kld[-d], mlp-d, dnn, rosenbrock.
+// The trailing -d sets the dimension (e.g. kld-40). Both the coordinator and
+// node processes of a distributed run construct the same workload from the
+// same name and seed, so trained models and streams agree bit-for-bit.
+func NamedWorkload(name string, o Options) (*Workload, error) {
+	base := name
+	dim := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if d, err := strconv.Atoi(name[i+1:]); err == nil {
+			base = name[:i]
+			dim = d
+		}
+	}
+	switch base {
+	case "inner-product":
+		if dim == 0 {
+			dim = 40
+		}
+		return InnerProductWorkload(o, dim, 10), nil
+	case "quadratic":
+		if dim == 0 {
+			dim = 40
+		}
+		return QuadraticWorkload(o, dim, 10), nil
+	case "kld":
+		if dim == 0 {
+			dim = 20
+		}
+		return KLDWorkload(o, dim, 12, 4000), nil
+	case "mlp":
+		if dim == 0 {
+			dim = 40
+		}
+		return MLPWorkload(o, dim, 10)
+	case "dnn":
+		return DNNWorkload(o)
+	case "rosenbrock":
+		return RosenbrockWorkload(o, 10, 1000), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown workload %q", name)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"time"
+
+	"automon/internal/core"
+	"automon/internal/linalg"
+)
+
+// RuntimeTable reproduces the §4.4 runtime measurements: per-update node
+// check time and coordinator full-sync time as the dimension grows, for an
+// ADCD-X function (KLD) and an ADCD-E function (inner product).
+func RuntimeTable(o Options) (*Table, error) {
+	t := &Table{
+		Name:   "sec4.4: node and coordinator runtime",
+		Header: []string{"function", "dim", "node_update_us", "full_sync_ms", "method"},
+	}
+	dims := []int{10, 20, 40, 100, 200}
+	if o.Quick {
+		dims = []int{10, 20, 40, 100}
+	}
+	for _, d := range dims {
+		for _, mk := range []struct {
+			name string
+			eps  float64
+			wl   func() (*Workload, error)
+		}{
+			{"kld", 0.02, func() (*Workload, error) { return KLDWorkload(o, d, 12, 1000), nil }},
+			{"inner-product", 0.2, func() (*Workload, error) { return InnerProductWorkload(o, d, 12), nil }},
+		} {
+			w, err := mk.wl()
+			if err != nil {
+				return nil, err
+			}
+			nodeUS, syncMS, method, err := measureRuntime(w, mk.eps)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(mk.name, d, nodeUS, syncMS, method)
+		}
+	}
+	return t, nil
+}
+
+// measureRuntime times a node constraint check and a coordinator full sync
+// for one workload.
+func measureRuntime(w *Workload, eps float64) (nodeUS, syncMS float64, method string, err error) {
+	ds := w.Data
+	n := ds.Nodes
+	windows := make([]struct{ v []float64 }, n)
+	win := make([]interface {
+		Push([]float64)
+		Vector() []float64
+	}, n)
+	for i := range win {
+		win[i] = ds.NewWindow()
+	}
+	for r := 0; r < ds.FillRounds(); r++ {
+		for i := range win {
+			win[i].Push(ds.FillSample(r, i))
+		}
+	}
+	for i := range windows {
+		windows[i].v = linalg.Clone(win[i].Vector())
+	}
+
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		nodes[i] = core.NewNode(i, w.F)
+		nodes[i].SetData(windows[i].v)
+	}
+	comm := &directNodeComm{nodes: nodes}
+	r := w.FixedR
+	if r == 0 {
+		r = 0.05
+	}
+	coord := core.NewCoordinator(w.F, n, core.Config{Epsilon: eps, R: r, Decomp: w.Decomp}, comm)
+
+	// Full-sync time: average over a few syncs (the first includes the
+	// one-time ADCD-E eigendecomposition, matching the paper's setup cost).
+	syncs := 3
+	start := time.Now()
+	if err := coord.Init(); err != nil {
+		return 0, 0, "", err
+	}
+	for k := 1; k < syncs; k++ {
+		if err := coord.HandleViolation(&core.Violation{
+			NodeID: 0, Kind: core.ViolationFaulty, X: windows[0].v,
+		}); err != nil {
+			return 0, 0, "", err
+		}
+	}
+	syncMS = float64(time.Since(start).Microseconds()) / 1000 / float64(syncs)
+
+	// Node update time: re-check constraints on the same vector many times.
+	const checks = 2000
+	start = time.Now()
+	for k := 0; k < checks; k++ {
+		nodes[1].UpdateData(windows[1].v)
+	}
+	nodeUS = float64(time.Since(start).Nanoseconds()) / 1000 / checks
+	return nodeUS, syncMS, coord.Method().String(), nil
+}
+
+// directNodeComm is a zero-overhead in-memory NodeComm for timing runs.
+type directNodeComm struct{ nodes []*core.Node }
+
+func (c *directNodeComm) RequestData(id int) []float64    { return c.nodes[id].LocalVector() }
+func (c *directNodeComm) SendSync(id int, m *core.Sync)   { c.nodes[id].ApplySync(m) }
+func (c *directNodeComm) SendSlack(id int, m *core.Slack) { c.nodes[id].ApplySlack(m) }

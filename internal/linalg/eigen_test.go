@@ -1,0 +1,276 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSym returns a random symmetric d×d matrix with entries ~N(0, scale²).
+func randSym(rng *rand.Rand, d int, scale float64) *Mat {
+	m := NewMat(d, d)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := rng.NormFloat64() * scale
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// reconstruct builds QΛQᵀ from an eigendecomposition.
+func reconstruct(values []float64, q *Mat) *Mat {
+	n := len(values)
+	out := NewMat(n, n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += values[k] * q.At(i, k) * q.At(j, k)
+			}
+		}
+	}
+	return out
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m := NewMat(3, 3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, -1)
+	m.Set(2, 2, 2)
+	v, _, err := EigenSym(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 2, 3}
+	for i := range want {
+		if !almostEq(v[i], want[i], 1e-12) {
+			t.Fatalf("eigenvalues = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestEigenSym2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := NewMat(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	v, q, err := EigenSym(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(v[0], 1, 1e-12) || !almostEq(v[1], 3, 1e-12) {
+		t.Fatalf("eigenvalues = %v", v)
+	}
+	if !Equalish(reconstruct(v, q), m, 1e-10) {
+		t.Fatal("QΛQᵀ does not reconstruct the matrix")
+	}
+}
+
+func TestEigenSymReconstructsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range []int{1, 2, 3, 5, 10, 30} {
+		for trial := 0; trial < 5; trial++ {
+			m := randSym(rng, d, 2)
+			v, q, err := EigenSym(m, true)
+			if err != nil {
+				t.Fatalf("d=%d: %v", d, err)
+			}
+			if !Equalish(reconstruct(v, q), m, 1e-8) {
+				t.Fatalf("d=%d trial %d: reconstruction failed", d, trial)
+			}
+			for i := 1; i < d; i++ {
+				if v[i] < v[i-1] {
+					t.Fatalf("eigenvalues not ascending: %v", v)
+				}
+			}
+		}
+	}
+}
+
+func TestEigenSymOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randSym(rng, 12, 1)
+	_, q, err := EigenSym(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 12
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += q.At(i, a) * q.At(i, b)
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if !almostEq(dot, want, 1e-9) {
+				t.Fatalf("columns %d,%d not orthonormal: dot=%v", a, b, dot)
+			}
+		}
+	}
+}
+
+func TestEigenSymAgreesWithJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + rng.Intn(15)
+		m := randSym(rng, d, 3)
+		v1, err := EigenvaluesSym(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, _, err := JacobiEigenSym(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range v1 {
+			if !almostEq(v1[i], v2[i], 1e-8) {
+				t.Fatalf("d=%d: QL %v vs Jacobi %v", d, v1, v2)
+			}
+		}
+	}
+}
+
+func TestEigenSymTraceAndDeterminantInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + rng.Intn(8)
+		m := randSym(rng, d, 1)
+		v, err := EigenvaluesSym(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace, sumv float64
+		for i := 0; i < d; i++ {
+			trace += m.At(i, i)
+			sumv += v[i]
+		}
+		if !almostEq(trace, sumv, 1e-9) {
+			t.Fatalf("trace %v != eigenvalue sum %v", trace, sumv)
+		}
+	}
+}
+
+func TestExtremeEigenvalues(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 0, -4)
+	m.Set(1, 1, 7)
+	lo, hi, err := ExtremeEigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -4 || hi != 7 {
+		t.Fatalf("extremes = %v, %v", lo, hi)
+	}
+}
+
+func TestEigenSymRejectsNonSquare(t *testing.T) {
+	if _, _, err := EigenSym(NewMat(2, 3), false); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestEigenSymEmpty(t *testing.T) {
+	v, _, err := EigenSym(NewMat(0, 0), true)
+	if err != nil || len(v) != 0 {
+		t.Fatalf("empty matrix: v=%v err=%v", v, err)
+	}
+}
+
+func TestSplitPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		d := 1 + rng.Intn(10)
+		m := randSym(rng, d, 2)
+		minus, plus, err := SplitPSD(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// minus + plus == m
+		sum := NewMat(d, d)
+		for i := range sum.Data {
+			sum.Data[i] = minus.Data[i] + plus.Data[i]
+		}
+		if !Equalish(sum, m, 1e-8) {
+			t.Fatal("H- + H+ != H")
+		}
+		// plus is PSD, minus is NSD
+		vp, err := EigenvaluesSym(plus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vp[0] < -1e-8 {
+			t.Fatalf("H+ not PSD: min eig %v", vp[0])
+		}
+		vm, err := EigenvaluesSym(minus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vm[len(vm)-1] > 1e-8 {
+			t.Fatalf("H- not NSD: max eig %v", vm[len(vm)-1])
+		}
+	}
+}
+
+func TestMatQuadForm(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 3)
+	// [1 1]·M·[1 1]ᵀ = 1+2+2+3 = 8
+	if got := m.QuadForm([]float64{1, 1}); got != 8 {
+		t.Fatalf("QuadForm = %v", got)
+	}
+}
+
+func TestMatMulVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 4)
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize = %v", m.Data)
+	}
+}
+
+func TestEigenLargeWellConditioned(t *testing.T) {
+	// Construct a matrix with known spectrum: Q diag(1..d) Qᵀ from a random
+	// orthogonal Q (obtained by eigendecomposing a random symmetric matrix).
+	rng := rand.New(rand.NewSource(3))
+	d := 60
+	_, q, err := EigenSym(randSym(rng, d, 1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, d)
+	for i := range want {
+		want[i] = float64(i + 1)
+	}
+	m := reconstruct(want, q)
+	m.Symmetrize()
+	got, err := EigenvaluesSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-7 {
+			t.Fatalf("eig[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

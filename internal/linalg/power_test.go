@@ -1,0 +1,76 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPowerExtremesDenseAgreesWithEigenSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(20)
+		m := randSym(rng, d, 2)
+		wantLo, wantHi, err := ExtremeEigenvalues(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLo, gotHi, err := PowerExtremesDense(m, 5000, 1e-12, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := 1 + math.Abs(wantLo) + math.Abs(wantHi)
+		if math.Abs(gotLo-wantLo) > 1e-3*scale {
+			t.Fatalf("d=%d: λmin = %v, want %v", d, gotLo, wantLo)
+		}
+		if math.Abs(gotHi-wantHi) > 1e-3*scale {
+			t.Fatalf("d=%d: λmax = %v, want %v", d, gotHi, wantHi)
+		}
+	}
+}
+
+func TestPowerExtremesEigenvectors(t *testing.T) {
+	// Diagonal matrix: eigenvectors are coordinate axes.
+	m := NewMat(3, 3)
+	m.Set(0, 0, -5)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 7)
+	lamMin, lamMax, vMin, vMax, err := PowerExtremes(func(v, out []float64) {
+		m.MulVec(out, v)
+	}, 3, 2000, 1e-12, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lamMin+5) > 1e-6 || math.Abs(lamMax-7) > 1e-6 {
+		t.Fatalf("extremes = (%v, %v)", lamMin, lamMax)
+	}
+	if math.Abs(math.Abs(vMin[0])-1) > 1e-4 {
+		t.Fatalf("vMin = %v, want ±e₀", vMin)
+	}
+	if math.Abs(math.Abs(vMax[2])-1) > 1e-4 {
+		t.Fatalf("vMax = %v, want ±e₂", vMax)
+	}
+}
+
+func TestPowerExtremesZeroOperator(t *testing.T) {
+	lamMin, lamMax, _, _, err := PowerExtremes(func(v, out []float64) {
+		for i := range out {
+			out[i] = 0
+		}
+	}, 4, 100, 1e-10, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lamMin) > 1e-8 || math.Abs(lamMax) > 1e-8 {
+		t.Fatalf("zero operator extremes = (%v, %v)", lamMin, lamMax)
+	}
+}
+
+func TestPowerExtremesRejectsBadDim(t *testing.T) {
+	if _, _, _, _, err := PowerExtremes(nil, 0, 10, 1e-9, nil); err == nil {
+		t.Fatal("expected error for d = 0")
+	}
+	if _, _, err := PowerExtremesDense(NewMat(2, 3), 10, 1e-9, nil); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}

@@ -1,0 +1,343 @@
+// Package sim is the discrete-event simulation harness of §4.1: it replays a
+// dataset against a monitoring algorithm on a single machine while counting
+// every message and byte that would cross the network, and tracking the
+// approximation error of the coordinator's estimate against the true
+// function of the global average. All of the paper's simulated experiments
+// (Figures 3–9) are driven through this package.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"automon/internal/core"
+	"automon/internal/linalg"
+	"automon/internal/stream"
+)
+
+// Algorithm selects the monitoring strategy.
+type Algorithm uint8
+
+const (
+	// AutoMon runs the full protocol of internal/core: ADCD-E/X selected
+	// automatically, slack, and LRU lazy sync (unless disabled in Core).
+	// Hand-crafted GM baselines (CB) also take this path via
+	// Core.ZoneBuilder.
+	AutoMon Algorithm = iota
+	// Centralization sends every local-vector update to the coordinator;
+	// zero error, maximal communication.
+	Centralization
+	// Periodic sends all local vectors every Period rounds; non-adaptive.
+	Periodic
+	// Hybrid runs AutoMon with the §6 fallback policy: when a budget window
+	// costs more messages than centralization would, it centralizes for one
+	// window and then re-engages AutoMon with a full resync.
+	Hybrid
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AutoMon:
+		return "automon"
+	case Centralization:
+		return "centralization"
+	case Hybrid:
+		return "hybrid"
+	}
+	return "periodic"
+}
+
+// Config describes one monitoring run.
+type Config struct {
+	F    *core.Function
+	Data *stream.Dataset
+
+	Algorithm Algorithm
+	Core      core.Config // AutoMon-family settings (ε is read from here for error accounting)
+	Period    int         // Periodic: rounds between broadcasts
+
+	// TuneRounds runs Algorithm 2 on the first TuneRounds monitored rounds
+	// to pick the neighborhood size (only meaningful for ADCD-X runs with
+	// Core.R == 0); monitoring statistics cover the remaining rounds.
+	TuneRounds int
+
+	// HybridWindow is the message-budget window (rounds) for the Hybrid
+	// algorithm; 0 means 50.
+	HybridWindow int
+
+	// Trace records per-round estimate/true/error series and the cumulative
+	// message count (used by the time-series figures).
+	Trace bool
+}
+
+// Result aggregates one run.
+type Result struct {
+	Algorithm string
+	Function  string
+	Rounds    int
+
+	Messages       int
+	MessagesByType map[core.MsgType]int
+	PayloadBytes   int
+
+	MaxErr, MeanErr, P99Err float64
+	MissedRounds            int // rounds with error above ε
+
+	Stats  core.CoordStats
+	TunedR float64
+
+	// Traces are populated when Config.Trace is set.
+	TrueTrace, EstTrace, ErrTrace []float64
+	CumMessages                   []int
+}
+
+// countingComm implements core.NodeComm over in-process nodes while
+// accounting for every message and its encoded payload size.
+type countingComm struct {
+	nodes []*core.Node
+	res   *Result
+}
+
+func (c *countingComm) RequestData(id int) []float64 {
+	x := c.nodes[id].LocalVector()
+	c.count(&core.DataRequest{NodeID: id})
+	c.count(&core.DataResponse{NodeID: id, X: x})
+	return x
+}
+
+func (c *countingComm) SendSync(id int, m *core.Sync) {
+	c.count(m)
+	c.nodes[id].ApplySync(m)
+}
+
+func (c *countingComm) SendSlack(id int, m *core.Slack) {
+	c.count(m)
+	c.nodes[id].ApplySlack(m)
+}
+
+func (c *countingComm) count(m core.Message) {
+	c.res.Messages++
+	c.res.MessagesByType[m.Type()]++
+	c.res.PayloadBytes += len(m.Encode())
+}
+
+// Run executes one monitoring run and returns its statistics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.F == nil || cfg.Data == nil {
+		return nil, fmt.Errorf("sim: config requires F and Data")
+	}
+	res := &Result{
+		Algorithm:      cfg.Algorithm.String(),
+		Function:       cfg.F.Name,
+		MessagesByType: make(map[core.MsgType]int),
+	}
+	if cfg.Algorithm == Periodic {
+		res.Algorithm = fmt.Sprintf("periodic-%d", cfg.Period)
+	}
+
+	ds := cfg.Data
+	n := ds.Nodes
+	windows := make([]stream.Windower, n)
+	for i := range windows {
+		windows[i] = ds.NewWindow()
+	}
+	// Warm-up: fill every window before monitoring starts (§4.2).
+	for r := 0; r < ds.FillRounds(); r++ {
+		for i := 0; i < n; i++ {
+			windows[i].Push(ds.FillSample(r, i))
+		}
+	}
+	for i := range windows {
+		if !windows[i].Full() {
+			return nil, fmt.Errorf("sim: window %d not full after warm-up", i)
+		}
+	}
+
+	switch cfg.Algorithm {
+	case Centralization:
+		return runCentralization(cfg, res, windows)
+	case Periodic:
+		return runPeriodic(cfg, res, windows)
+	case Hybrid:
+		return runHybrid(cfg, res, windows)
+	}
+	return runAutoMon(cfg, res, windows)
+}
+
+// trueAverage computes the dataset-side ground truth x̄ from the windows.
+func trueAverage(dst []float64, windows []stream.Windower) {
+	vecs := make([][]float64, len(windows))
+	for i, w := range windows {
+		vecs[i] = w.Vector()
+	}
+	linalg.Mean(dst, vecs...)
+}
+
+func (r *Result) observe(cfg Config, est, truth float64, trace bool) {
+	e := math.Abs(est - truth)
+	r.ErrTrace = append(r.ErrTrace, e)
+	if trace {
+		r.EstTrace = append(r.EstTrace, est)
+		r.TrueTrace = append(r.TrueTrace, truth)
+		r.CumMessages = append(r.CumMessages, r.Messages)
+	}
+	if e > cfg.Core.Epsilon {
+		r.MissedRounds++
+	}
+}
+
+// finalize computes the error aggregates from the per-round series.
+func (r *Result) finalize(trace bool) {
+	errs := r.ErrTrace
+	r.Rounds = len(errs)
+	if len(errs) == 0 {
+		return
+	}
+	var sum float64
+	for _, e := range errs {
+		sum += e
+		if e > r.MaxErr {
+			r.MaxErr = e
+		}
+	}
+	r.MeanErr = sum / float64(len(errs))
+	sorted := append([]float64(nil), errs...)
+	sort.Float64s(sorted)
+	r.P99Err = sorted[int(0.99*float64(len(sorted)-1))]
+	if !trace {
+		r.ErrTrace = nil
+	}
+}
+
+func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, error) {
+	ds := cfg.Data
+	n := ds.Nodes
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		nodes[i] = core.NewNode(i, cfg.F)
+		nodes[i].SetData(windows[i].Vector())
+	}
+	comm := &countingComm{nodes: nodes, res: res}
+
+	startRound := 0
+	coreCfg := cfg.Core
+	needsTuning := cfg.TuneRounds > 0 && coreCfg.R == 0 &&
+		!coreCfg.DisableADCD && coreCfg.ZoneBuilder == nil && !cfg.F.HasConstantHessian()
+	if needsTuning {
+		// Build the tuning replay from the first TuneRounds monitored
+		// rounds, advancing the real windows as we go (the tuning prefix is
+		// consumed, as in §4.2).
+		tuneData := make(core.TuningData, 0, cfg.TuneRounds+1)
+		snapshot := func() [][]float64 {
+			vecs := make([][]float64, n)
+			for i := range vecs {
+				vecs[i] = linalg.Clone(windows[i].Vector())
+			}
+			return vecs
+		}
+		tuneData = append(tuneData, snapshot())
+		for r := 0; r < cfg.TuneRounds && r < ds.Rounds; r++ {
+			for i := 0; i < n; i++ {
+				if s := ds.Sample(r, i); s != nil {
+					windows[i].Push(s)
+				}
+			}
+			tuneData = append(tuneData, snapshot())
+			startRound++
+		}
+		tuned, err := core.Tune(cfg.F, tuneData, n, coreCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: neighborhood tuning: %w", err)
+		}
+		coreCfg.R = tuned.R
+		res.TunedR = tuned.R
+		for i := range nodes {
+			nodes[i].SetData(windows[i].Vector())
+		}
+	}
+
+	coord := core.NewCoordinator(cfg.F, n, coreCfg, comm)
+	if err := coord.Init(); err != nil {
+		return nil, err
+	}
+
+	avg := make([]float64, cfg.F.Dim())
+	for r := startRound; r < ds.Rounds; r++ {
+		for i := 0; i < n; i++ {
+			s := ds.Sample(r, i)
+			if s == nil {
+				continue
+			}
+			windows[i].Push(s)
+			v := nodes[i].UpdateData(windows[i].Vector())
+			if v == nil {
+				continue
+			}
+			comm.count(v)
+			if err := coord.HandleViolation(v); err != nil {
+				return nil, err
+			}
+		}
+		trueAverage(avg, windows)
+		res.observe(cfg, coord.Estimate(), cfg.F.Value(avg), cfg.Trace)
+	}
+	res.Stats = coord.Stats
+	if res.TunedR == 0 {
+		res.TunedR = coord.R()
+	}
+	res.finalize(cfg.Trace)
+	return res, nil
+}
+
+func runCentralization(cfg Config, res *Result, windows []stream.Windower) (*Result, error) {
+	ds := cfg.Data
+	avg := make([]float64, cfg.F.Dim())
+	for r := 0; r < ds.Rounds; r++ {
+		for i := 0; i < ds.Nodes; i++ {
+			s := ds.Sample(r, i)
+			if s == nil {
+				continue
+			}
+			windows[i].Push(s)
+			res.Messages++
+			res.MessagesByType[core.MsgDataResponse]++
+			res.PayloadBytes += len((&core.DataResponse{NodeID: i, X: windows[i].Vector()}).Encode())
+		}
+		trueAverage(avg, windows)
+		truth := cfg.F.Value(avg)
+		res.observe(cfg, truth, truth, cfg.Trace) // exact estimate
+	}
+	res.finalize(cfg.Trace)
+	return res, nil
+}
+
+func runPeriodic(cfg Config, res *Result, windows []stream.Windower) (*Result, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("sim: periodic baseline requires Period > 0")
+	}
+	ds := cfg.Data
+	avg := make([]float64, cfg.F.Dim())
+	trueAverage(avg, windows)
+	est := cfg.F.Value(avg)
+	for r := 0; r < ds.Rounds; r++ {
+		for i := 0; i < ds.Nodes; i++ {
+			if s := ds.Sample(r, i); s != nil {
+				windows[i].Push(s)
+			}
+		}
+		if (r+1)%cfg.Period == 0 {
+			for i := 0; i < ds.Nodes; i++ {
+				res.Messages++
+				res.MessagesByType[core.MsgDataResponse]++
+				res.PayloadBytes += len((&core.DataResponse{NodeID: i, X: windows[i].Vector()}).Encode())
+			}
+			trueAverage(avg, windows)
+			est = cfg.F.Value(avg)
+		}
+		trueAverage(avg, windows)
+		res.observe(cfg, est, cfg.F.Value(avg), cfg.Trace)
+	}
+	res.finalize(cfg.Trace)
+	return res, nil
+}

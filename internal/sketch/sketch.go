@@ -1,0 +1,133 @@
+// Package sketch implements linear stream sketches in the turnstile model —
+// AMS (Tug-of-War) and Count-Min — and their composition with AutoMon.
+//
+// §5 of the AutoMon paper observes that the technique is compatible with
+// most sketches because they are linear: "AutoMon can monitor a linear
+// sketch by defining f as the query function and x as the sketched data
+// structure, since x̄ = 1/n Σ xᵢ". Concretely, each node sketches its local
+// substream; the average of the node sketches is exactly the sketch of the
+// average frequency vector, so running AutoMon on the query function over
+// the sketch vector monitors the global statistic with sub-linear local
+// state. The AMS second-moment query is a quadratic form of the sketch, so
+// AutoMon selects ADCD-E and the approximation guarantee is deterministic.
+package sketch
+
+import "errors"
+
+// mix64 is SplitMix64: a deterministic 64-bit finalizer used for bucket and
+// sign hashing, so sketches are reproducible across processes and mergeable
+// whenever they share a seed.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// AMS is an AMS (Alon–Matias–Szegedy) "Tug-of-War" sketch with Rows × Cols
+// counters: every row r keeps S[r][c] = Σ_i s_r(i)·freq(i)·[h_r(i) = c],
+// and the second moment F₂ is estimated per row by Σ_c S[r][c]², with the
+// final estimate the mean across rows. (The mean keeps the query a smooth
+// quadratic form — the classical median is not differentiable — and is
+// unbiased as well.)
+type AMS struct {
+	Rows, Cols int
+	seed       uint64
+	data       []float64
+}
+
+// NewAMS creates an AMS sketch. Sketches with equal shapes and seeds are
+// mergeable: node sketches average coordinate-wise into the sketch of the
+// average stream.
+func NewAMS(rows, cols int, seed uint64) (*AMS, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, errors.New("sketch: AMS needs positive shape")
+	}
+	return &AMS{Rows: rows, Cols: cols, seed: seed, data: make([]float64, rows*cols)}, nil
+}
+
+// cell returns the (bucket, sign) of an item within a row.
+func (a *AMS) cell(row int, item uint64) (col int, sign float64) {
+	v := mix64(item ^ mix64(uint64(row)+a.seed))
+	col = int(v % uint64(a.Cols))
+	if (v>>32)&1 == 1 {
+		return col, 1
+	}
+	return col, -1
+}
+
+// Add applies a turnstile update: item frequency changes by delta (which
+// may be negative).
+func (a *AMS) Add(item uint64, delta float64) {
+	for r := 0; r < a.Rows; r++ {
+		c, s := a.cell(r, item)
+		a.data[r*a.Cols+c] += s * delta
+	}
+}
+
+// Vector exposes the sketch as the flat local vector AutoMon monitors. The
+// returned slice aliases the sketch's storage; copy before mutating.
+func (a *AMS) Vector() []float64 { return a.data }
+
+// Dim returns the monitored vector length.
+func (a *AMS) Dim() int { return a.Rows * a.Cols }
+
+// F2 returns the sketch's second-moment estimate: the mean over rows of the
+// per-row sum of squared counters.
+func (a *AMS) F2() float64 {
+	var total float64
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			v := a.data[r*a.Cols+c]
+			total += v * v
+		}
+	}
+	return total / float64(a.Rows)
+}
+
+// CountMin is a Count-Min sketch (cash-register model), the second
+// linear-sketch substrate: point queries upper-bound item frequencies, and
+// node sketches average exactly like AMS.
+type CountMin struct {
+	Rows, Cols int
+	seed       uint64
+	data       []float64
+}
+
+// NewCountMin creates a Count-Min sketch.
+func NewCountMin(rows, cols int, seed uint64) (*CountMin, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, errors.New("sketch: CountMin needs positive shape")
+	}
+	return &CountMin{Rows: rows, Cols: cols, seed: seed, data: make([]float64, rows*cols)}, nil
+}
+
+func (c *CountMin) cell(row int, item uint64) int {
+	return int(mix64(item^mix64(uint64(row)+c.seed+0x5bd1)) % uint64(c.Cols))
+}
+
+// Add increases an item's count by delta (delta ≥ 0 for the classical
+// guarantee).
+func (c *CountMin) Add(item uint64, delta float64) {
+	for r := 0; r < c.Rows; r++ {
+		c.data[r*c.Cols+c.cell(r, item)] += delta
+	}
+}
+
+// Count returns the point-query estimate (minimum across rows); it never
+// underestimates for non-negative updates.
+func (c *CountMin) Count(item uint64) float64 {
+	min := c.data[c.cell(0, item)]
+	for r := 1; r < c.Rows; r++ {
+		if v := c.data[r*c.Cols+c.cell(r, item)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Vector exposes the sketch as a flat vector (aliases storage).
+func (c *CountMin) Vector() []float64 { return c.data }
+
+// Dim returns the monitored vector length.
+func (c *CountMin) Dim() int { return c.Rows * c.Cols }

@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"math/rand"
+
+	"automon/internal/sketch"
+)
+
+// SketchWindow adapts a per-node AMS sketch to the Windower interface: each
+// "sample" is a (item, delta) turnstile update encoded as two floats, and
+// the local vector is the sketch's counter vector scaled by the given
+// factor (nodes scale by 1/expected-updates so the monitored F₂ stays O(1)).
+type SketchWindow struct {
+	ams   *sketch.AMS
+	scale float64
+	out   []float64
+	seen  int
+}
+
+// NewSketchWindow builds a sketch-backed windower. All nodes must share the
+// sketch shape and seed so their vectors are mergeable.
+func NewSketchWindow(rows, cols int, seed uint64, scale float64) *SketchWindow {
+	a, err := sketch.NewAMS(rows, cols, seed)
+	if err != nil {
+		panic(err) // shapes are static configuration; an error is a bug
+	}
+	return &SketchWindow{ams: a, scale: scale, out: make([]float64, a.Dim())}
+}
+
+// Push implements Windower: sample = [item, delta].
+func (s *SketchWindow) Push(sample []float64) {
+	s.ams.Add(uint64(sample[0]), sample[1])
+	s.seen++
+}
+
+// Vector implements Windower: the scaled sketch counters.
+func (s *SketchWindow) Vector() []float64 {
+	raw := s.ams.Vector()
+	for i, v := range raw {
+		s.out[i] = v * s.scale
+	}
+	return s.out
+}
+
+// Full implements Windower: a sketch is usable from the first update.
+func (s *SketchWindow) Full() bool { return s.seen > 0 }
+
+// ZipfTurnstile generates the distributed frequency workload for sketched
+// F₂ monitoring: every node receives one (item, delta) update per round
+// from a skewed item distribution; heavy-hitter bursts raise the global
+// second moment mid-run and occasional deletions exercise the turnstile
+// path. Samples are [item, delta] pairs; the Windower is a shared-seed AMS
+// sketch.
+func ZipfTurnstile(nodes, rounds, rows, cols int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	// Counter scaling keeps the monitored F₂ in an O(1) range across run
+	// lengths (heavy hitters collect ≈ rounds/12 updates each).
+	scale := 8.0 / float64(rounds)
+
+	sample := func(round int) []float64 {
+		frac := float64(round) / float64(rounds)
+		burst := frac > 0.4 && frac < 0.7
+		var item uint64
+		switch {
+		case burst && rng.Float64() < 0.5:
+			item = uint64(rng.Intn(3)) // heavy hitters during the burst
+		case rng.Float64() < 0.2:
+			item = uint64(rng.Intn(10))
+		default:
+			item = uint64(10 + rng.Intn(500))
+		}
+		delta := 1.0
+		if rng.Float64() < 0.05 {
+			delta = -1 // turnstile deletion
+		}
+		return []float64{float64(item), delta}
+	}
+
+	ds := &Dataset{
+		Name:   "zipf-turnstile",
+		Nodes:  nodes,
+		Rounds: rounds,
+		NewWindow: func() Windower {
+			return NewSketchWindow(rows, cols, 42, scale)
+		},
+	}
+	// One warm-up round primes every sketch.
+	warm := make([][]float64, nodes)
+	for i := range warm {
+		warm[i] = sample(0)
+	}
+	ds.fill = append(ds.fill, warm)
+	for r := 0; r < rounds; r++ {
+		round := make([][]float64, nodes)
+		for i := 0; i < nodes; i++ {
+			round[i] = sample(r)
+		}
+		ds.samples = append(ds.samples, round)
+	}
+	return ds
+}

@@ -1,0 +1,148 @@
+// Package stream provides the data side of the evaluation: sliding-window
+// local-vector maintenance and deterministic generators for every dataset in
+// §4.2 — the synthetic MLP drift, inner-product phase, and quadratic-outlier
+// workloads, a synthetic stand-in for the KDDCup-99 intrusion streams, and a
+// synthetic stand-in for the Beijing multi-site air-quality dataset. The
+// real datasets are not redistributable inside this repository; DESIGN.md
+// documents why each substitute preserves the monitored behaviour.
+package stream
+
+// Windower turns a stream of raw samples into the node's local vector. The
+// paper's nodes maintain a sliding window; the local vector is either the
+// window average (most functions) or the window histogram (KLD).
+type Windower interface {
+	// Push adds one raw sample.
+	Push(sample []float64)
+	// Vector returns the current local vector. The returned slice is owned
+	// by the Windower and overwritten by the next Push.
+	Vector() []float64
+	// Full reports whether the window has seen at least its capacity of
+	// samples; monitoring starts once every node's window is full.
+	Full() bool
+}
+
+// AvgWindow is a sliding window whose local vector is the mean of the last W
+// samples.
+type AvgWindow struct {
+	w     int
+	buf   [][]float64
+	next  int
+	count int
+	sum   []float64
+	out   []float64
+}
+
+// NewAvgWindow returns an averaging window of capacity w over d-dimensional
+// samples.
+func NewAvgWindow(w, d int) *AvgWindow {
+	a := &AvgWindow{w: w, sum: make([]float64, d), out: make([]float64, d)}
+	a.buf = make([][]float64, w)
+	for i := range a.buf {
+		a.buf[i] = make([]float64, d)
+	}
+	return a
+}
+
+// Push implements Windower.
+func (a *AvgWindow) Push(sample []float64) {
+	old := a.buf[a.next]
+	if a.count == a.w {
+		for i, v := range old {
+			a.sum[i] -= v
+		}
+	} else {
+		a.count++
+	}
+	copy(old, sample)
+	for i, v := range sample {
+		a.sum[i] += v
+	}
+	a.next = (a.next + 1) % a.w
+}
+
+// Vector implements Windower.
+func (a *AvgWindow) Vector() []float64 {
+	inv := 1.0
+	if a.count > 0 {
+		inv = 1 / float64(a.count)
+	}
+	for i, s := range a.sum {
+		a.out[i] = s * inv
+	}
+	return a.out
+}
+
+// Full implements Windower.
+func (a *AvgWindow) Full() bool { return a.count == a.w }
+
+// HistWindow is the KLD window: samples are (value₁, value₂) pairs; the
+// local vector is [p, q] where p and q are the normalized histograms of the
+// two attributes over the last W samples, with `bins` buckets covering
+// [min, max].
+type HistWindow struct {
+	w        int
+	bins     int
+	min, max float64
+	buf      [][2]int // bucket indices of windowed samples
+	next     int
+	count    int
+	counts   []int // 2*bins counts
+	out      []float64
+}
+
+// NewHistWindow returns a histogram window of capacity w.
+func NewHistWindow(w, bins int, min, max float64) *HistWindow {
+	return &HistWindow{
+		w: w, bins: bins, min: min, max: max,
+		buf:    make([][2]int, w),
+		counts: make([]int, 2*bins),
+		out:    make([]float64, 2*bins),
+	}
+}
+
+func (h *HistWindow) bucket(v float64) int {
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	b := int(float64(h.bins) * (v - h.min) / (h.max - h.min))
+	if b == h.bins {
+		b = h.bins - 1
+	}
+	return b
+}
+
+// Push implements Windower; sample must have two entries (the paper's PM10
+// and PM2.5 attributes).
+func (h *HistWindow) Push(sample []float64) {
+	b0 := h.bucket(sample[0])
+	b1 := h.bucket(sample[1])
+	if h.count == h.w {
+		old := h.buf[h.next]
+		h.counts[old[0]]--
+		h.counts[h.bins+old[1]]--
+	} else {
+		h.count++
+	}
+	h.buf[h.next] = [2]int{b0, b1}
+	h.counts[b0]++
+	h.counts[h.bins+b1]++
+	h.next = (h.next + 1) % h.w
+}
+
+// Vector implements Windower: the concatenated normalized histograms.
+func (h *HistWindow) Vector() []float64 {
+	inv := 1.0
+	if h.count > 0 {
+		inv = 1 / float64(h.count)
+	}
+	for i, c := range h.counts {
+		h.out[i] = float64(c) * inv
+	}
+	return h.out
+}
+
+// Full implements Windower.
+func (h *HistWindow) Full() bool { return h.count == h.w }

@@ -1,0 +1,82 @@
+package stream
+
+// EWMAWindow maintains an exponentially weighted moving average local
+// vector: v ← (1−α)·v + α·sample. It is the constant-memory alternative to
+// the paper's sliding windows for long-lived edge nodes: no ring buffer,
+// O(d) state, and the local vector reacts to drift at a rate set by α.
+type EWMAWindow struct {
+	alpha float64
+	v     []float64
+	seen  int
+	warm  int
+}
+
+// NewEWMAWindow builds an EWMA windower over d-dimensional samples. warm is
+// the number of samples before Full reports true (the protocol starts
+// monitoring once all windows are warm); a warm of 0 means 1.
+func NewEWMAWindow(alpha float64, d, warm int) *EWMAWindow {
+	if warm <= 0 {
+		warm = 1
+	}
+	return &EWMAWindow{alpha: alpha, v: make([]float64, d), warm: warm}
+}
+
+// Push implements Windower.
+func (w *EWMAWindow) Push(sample []float64) {
+	if w.seen == 0 {
+		copy(w.v, sample)
+	} else {
+		for i, s := range sample {
+			w.v[i] = (1-w.alpha)*w.v[i] + w.alpha*s
+		}
+	}
+	w.seen++
+}
+
+// Vector implements Windower.
+func (w *EWMAWindow) Vector() []float64 { return w.v }
+
+// Full implements Windower.
+func (w *EWMAWindow) Full() bool { return w.seen >= w.warm }
+
+// TumblingWindow averages samples within fixed-size non-overlapping blocks:
+// the local vector holds the last *completed* block's mean and only changes
+// at block boundaries (the natural windowing of batch-oriented collectors).
+type TumblingWindow struct {
+	size    int
+	current []float64
+	filled  int
+	out     []float64
+	blocks  int
+}
+
+// NewTumblingWindow builds a tumbling windower of the given block size.
+func NewTumblingWindow(size, d int) *TumblingWindow {
+	if size <= 0 {
+		size = 1
+	}
+	return &TumblingWindow{size: size, current: make([]float64, d), out: make([]float64, d)}
+}
+
+// Push implements Windower.
+func (w *TumblingWindow) Push(sample []float64) {
+	for i, s := range sample {
+		w.current[i] += s
+	}
+	w.filled++
+	if w.filled == w.size {
+		inv := 1 / float64(w.size)
+		for i := range w.current {
+			w.out[i] = w.current[i] * inv
+			w.current[i] = 0
+		}
+		w.filled = 0
+		w.blocks++
+	}
+}
+
+// Vector implements Windower: the last completed block's mean.
+func (w *TumblingWindow) Vector() []float64 { return w.out }
+
+// Full implements Windower: true once one block has completed.
+func (w *TumblingWindow) Full() bool { return w.blocks > 0 }

@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMAWindow(t *testing.T) {
+	w := NewEWMAWindow(0.5, 1, 2)
+	if w.Full() {
+		t.Fatal("empty EWMA reports full")
+	}
+	w.Push([]float64{4})
+	if w.Vector()[0] != 4 {
+		t.Fatalf("first sample should seed the EWMA, got %v", w.Vector()[0])
+	}
+	if w.Full() {
+		t.Fatal("warm=2 must need two samples")
+	}
+	w.Push([]float64{0})
+	if !w.Full() {
+		t.Fatal("EWMA should be full after warm samples")
+	}
+	if got := w.Vector()[0]; got != 2 {
+		t.Fatalf("EWMA after 4,0 with α=0.5 = %v, want 2", got)
+	}
+	w.Push([]float64{2})
+	if got := w.Vector()[0]; got != 2 {
+		t.Fatalf("EWMA should stay at 2, got %v", got)
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	w := NewEWMAWindow(0.2, 2, 1)
+	for i := 0; i < 200; i++ {
+		w.Push([]float64{3, -1})
+	}
+	v := w.Vector()
+	if math.Abs(v[0]-3) > 1e-9 || math.Abs(v[1]+1) > 1e-9 {
+		t.Fatalf("EWMA did not converge: %v", v)
+	}
+}
+
+func TestTumblingWindow(t *testing.T) {
+	w := NewTumblingWindow(3, 1)
+	w.Push([]float64{1})
+	w.Push([]float64{2})
+	if w.Full() {
+		t.Fatal("tumbling window full before a block completed")
+	}
+	if w.Vector()[0] != 0 {
+		t.Fatal("vector must be zero before the first block completes")
+	}
+	w.Push([]float64{3})
+	if !w.Full() {
+		t.Fatal("block completed, window should be full")
+	}
+	if got := w.Vector()[0]; got != 2 {
+		t.Fatalf("block mean = %v, want 2", got)
+	}
+	// Mid-block pushes must not change the exposed vector.
+	w.Push([]float64{100})
+	if got := w.Vector()[0]; got != 2 {
+		t.Fatalf("mid-block vector changed to %v", got)
+	}
+	w.Push([]float64{100})
+	w.Push([]float64{100})
+	if got := w.Vector()[0]; got != 100 {
+		t.Fatalf("second block mean = %v, want 100", got)
+	}
+}
+
+func TestTumblingWindowDegenerateSize(t *testing.T) {
+	w := NewTumblingWindow(0, 1) // clamped to 1: every sample is a block
+	w.Push([]float64{7})
+	if !w.Full() || w.Vector()[0] != 7 {
+		t.Fatalf("size-1 tumbling window broken: full=%v v=%v", w.Full(), w.Vector())
+	}
+}

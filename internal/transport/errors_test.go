@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"automon/internal/core"
+	"automon/internal/funcs"
+)
+
+func TestDialNodeRefusesDeadAddress(t *testing.T) {
+	f := funcs.InnerProduct(1)
+	if _, err := DialNode("127.0.0.1:1", 0, f, []float64{0, 0},
+		Options{DialTimeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("dial to a dead address must fail")
+	}
+}
+
+func TestCoordinatorRejectsGarbageFrames(t *testing.T) {
+	f := funcs.InnerProduct(1)
+	coord, err := ListenCoordinator("127.0.0.1:0", f, 1, core.Config{Epsilon: 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame header claiming an absurd length must be rejected without
+	// allocation.
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for coord.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("oversized frame not detected")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func TestNodeSurvivesCoordinatorShutdown(t *testing.T) {
+	f := funcs.InnerProduct(1)
+	initial := [][]float64{{1, 1}, {1, 1}}
+	coord, nodes := startCluster(t, f, 2, core.Config{Epsilon: 0.5}, Options{}, initial)
+	coord.Close()
+	// Updates after shutdown must surface an error, not hang or panic.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := nodes[0].Update([]float64{50, 50}); err != nil {
+			for _, nd := range nodes {
+				nd.Close()
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("node never noticed the coordinator was gone")
+}
+
+func TestWaitReadyTimesOut(t *testing.T) {
+	f := funcs.InnerProduct(1)
+	// Coordinator expects 2 nodes; only one dials in, so Ready never fires
+	// and the node's WaitReady must time out rather than block forever.
+	coord, err := ListenCoordinator("127.0.0.1:0", f, 2, core.Config{Epsilon: 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	node, err := DialNode(coord.Addr(), 0, f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.WaitReady(200 * time.Millisecond); err == nil {
+		t.Fatal("WaitReady should time out without a first sync")
+	}
+}

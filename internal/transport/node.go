@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"automon/internal/core"
+)
+
+// NodeClient runs one AutoMon node over a TCP connection to the coordinator.
+// The application feeds local-vector updates through Update; the client
+// transparently answers the coordinator's data requests, installs safe
+// zones, and reports violations (blocking until the coordinator resolves
+// them, matching the §3.7 assumption that data arrives slower than
+// resolutions complete).
+type NodeClient struct {
+	ID    int
+	Stats TrafficStats
+
+	conn    net.Conn
+	writeMu sync.Mutex
+	opts    Options
+
+	mu       sync.Mutex // guards node and reported
+	node     *core.Node
+	reported bool // a violation is outstanding; suppress duplicates
+	resolved chan struct{}
+	ready    chan struct{}
+	readyOne sync.Once
+
+	errMu  sync.Mutex
+	err    error
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// DialNode connects to the coordinator, registers node id with its initial
+// local vector, and starts serving coordinator messages.
+func DialNode(addr string, id int, f *core.Function, initial []float64, opts Options) (*NodeClient, error) {
+	opts.defaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &NodeClient{
+		ID:       id,
+		conn:     conn,
+		opts:     opts,
+		node:     core.NewNode(id, f),
+		resolved: make(chan struct{}, 1),
+		ready:    make(chan struct{}),
+	}
+	c.node.SetData(initial)
+	if err := writeFrame(conn, &core.DataResponse{NodeID: id, X: initial}, opts.Latency, &c.Stats, &c.writeMu); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *NodeClient) readLoop() {
+	defer c.wg.Done()
+	for {
+		m, err := readFrame(c.conn, &c.Stats)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch msg := m.(type) {
+		case *core.DataRequest:
+			c.mu.Lock()
+			x := c.node.LocalVector()
+			c.mu.Unlock()
+			if err := writeFrame(c.conn, &core.DataResponse{NodeID: c.ID, X: x}, c.opts.Latency, &c.Stats, &c.writeMu); err != nil {
+				c.fail(err)
+				return
+			}
+		case *core.Sync:
+			c.mu.Lock()
+			c.node.ApplySync(msg)
+			c.reported = false // this resolution consumes the outstanding report
+			c.mu.Unlock()
+			c.readyOne.Do(func() { close(c.ready) })
+			c.recheck()
+			c.signalResolved()
+		case *core.Slack:
+			c.mu.Lock()
+			c.node.ApplySlack(msg)
+			c.reported = false
+			c.mu.Unlock()
+			c.recheck()
+			c.signalResolved()
+		default:
+			c.fail(fmt.Errorf("transport: node %d received unexpected %v", c.ID, m.Type()))
+			return
+		}
+	}
+}
+
+// recheck re-evaluates the local constraints right after a new zone or
+// slack is installed and reports a fresh violation if they no longer hold.
+// This covers a race the paper's data-rate assumption (§3.7) rules out:
+// when data keeps flowing during a resolution, the coordinator may have
+// balanced against a slightly stale local vector, leaving this node outside
+// its zone with no pending data update to notice it.
+// At most one violation report is outstanding at a time: duplicates for the
+// same out-of-zone state would multiply through the resolution fan-out and
+// flood the coordinator.
+func (c *NodeClient) recheck() {
+	c.mu.Lock()
+	if c.reported {
+		c.mu.Unlock()
+		return
+	}
+	v := c.node.Check()
+	if v != nil {
+		c.reported = true
+	}
+	c.mu.Unlock()
+	if v == nil {
+		return
+	}
+	if err := writeFrame(c.conn, v, c.opts.Latency, &c.Stats, &c.writeMu); err != nil {
+		c.fail(err)
+	}
+}
+
+func (c *NodeClient) signalResolved() {
+	select {
+	case c.resolved <- struct{}{}:
+	default:
+	}
+}
+
+func (c *NodeClient) fail(err error) {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.err == nil && !c.closed {
+		c.err = err
+	}
+	c.signalResolved() // unblock any waiting Update
+}
+
+// WaitReady blocks until the node has installed its first safe zone (the
+// initial full sync reached it) or the timeout expires. Call it after the
+// coordinator reports Ready before streaming updates: until the first Sync
+// arrives the node is silent by design, so updates pushed earlier are not
+// monitored.
+func (c *NodeClient) WaitReady(timeout time.Duration) error {
+	select {
+	case <-c.ready:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("transport: node %d never received its first sync", c.ID)
+	}
+}
+
+// Err returns the first connection error, if any.
+func (c *NodeClient) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// Update installs a new local vector, checks the local constraints, and —
+// if they are violated — reports to the coordinator and blocks until the
+// violation is resolved (new slack or safe zone installed).
+func (c *NodeClient) Update(x []float64) error {
+	c.mu.Lock()
+	// Drain a stale resolution signal so we wait for a fresh one.
+	select {
+	case <-c.resolved:
+	default:
+	}
+	v := c.node.UpdateData(x)
+	send := v != nil && !c.reported
+	if send {
+		c.reported = true
+	}
+	c.mu.Unlock()
+	if v == nil {
+		return c.Err()
+	}
+	if send {
+		if err := writeFrame(c.conn, v, c.opts.Latency, &c.Stats, &c.writeMu); err != nil {
+			return err
+		}
+	}
+	// Resolution signals are not addressed to a specific violation (a sync
+	// triggered by another node's violation also lands here), so wait until
+	// this node's constraints actually hold again.
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case <-c.resolved:
+		case <-deadline:
+			return fmt.Errorf("transport: node %d violation resolution timed out", c.ID)
+		}
+		if err := c.Err(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		still := c.node.Check()
+		c.mu.Unlock()
+		if still == nil {
+			return nil
+		}
+	}
+}
+
+// CurrentValue returns the node's current estimate f(x0).
+func (c *NodeClient) CurrentValue() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.node.CurrentValue()
+}
+
+// Close tears down the connection.
+func (c *NodeClient) Close() {
+	c.errMu.Lock()
+	c.closed = true
+	c.errMu.Unlock()
+	c.conn.Close()
+	c.wg.Wait()
+}

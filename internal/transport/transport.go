@@ -1,0 +1,394 @@
+// Package transport is the real messaging fabric used to validate the
+// simulation (§4.7): coordinator and nodes exchange the exact same
+// core.Message bytes over TCP, with optional injected one-way latency
+// standing in for the paper's us-west-2 ↔ us-east-2 WAN (28 ms each way,
+// 56 ms RTT). Every frame is accounted twice: payload bytes (the §4.7
+// "payload" series) and estimated wire bytes including framing and TCP/IP
+// overhead (the "traffic" series Nethogs would report).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"automon/internal/core"
+)
+
+// perMessageWireOverhead approximates Ethernet + IP + TCP header bytes per
+// message (small AutoMon messages fit one segment each).
+const perMessageWireOverhead = 66
+
+// frameHeader is the length prefix added to every message.
+const frameHeader = 4
+
+// TrafficStats counts one side's traffic. All fields are updated atomically
+// and may be read concurrently.
+type TrafficStats struct {
+	MessagesSent     atomic.Int64
+	MessagesReceived atomic.Int64
+	PayloadSent      atomic.Int64
+	PayloadReceived  atomic.Int64
+	WireSent         atomic.Int64
+	WireReceived     atomic.Int64
+}
+
+func (s *TrafficStats) countSend(payload int) {
+	s.MessagesSent.Add(1)
+	s.PayloadSent.Add(int64(payload))
+	s.WireSent.Add(int64(payload + frameHeader + perMessageWireOverhead))
+}
+
+func (s *TrafficStats) countRecv(payload int) {
+	s.MessagesReceived.Add(1)
+	s.PayloadReceived.Add(int64(payload))
+	s.WireReceived.Add(int64(payload + frameHeader + perMessageWireOverhead))
+}
+
+// Options configure both endpoints.
+type Options struct {
+	// Latency is the injected one-way delay per message (0 = none).
+	Latency time.Duration
+	// DialTimeout bounds node connection attempts (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+}
+
+// writeFrame sends one length-prefixed message after the simulated one-way
+// latency.
+func writeFrame(conn net.Conn, m core.Message, latency time.Duration, stats *TrafficStats, mu *sync.Mutex) error {
+	payload := m.Encode()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	mu.Lock()
+	defer mu.Unlock()
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return err
+	}
+	stats.countSend(len(payload))
+	return nil
+}
+
+// readFrame reads one length-prefixed message.
+func readFrame(conn net.Conn, stats *TrafficStats) (core.Message, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 1<<28 {
+		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	m, err := core.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	stats.countRecv(len(buf))
+	return m, nil
+}
+
+// Coordinator runs the AutoMon coordinator behind a TCP listener. Create it
+// with ListenCoordinator, wait for Ready, and read Estimate while nodes
+// stream updates.
+type Coordinator struct {
+	ln    net.Listener
+	f     *core.Function
+	n     int
+	cfg   core.Config
+	opts  Options
+	Stats TrafficStats
+
+	mu     sync.Mutex // guards coord (single resolution at a time)
+	coord  *core.Coordinator
+	conns  []*coordConn
+	ready  chan struct{}
+	violCh chan *core.Violation
+	done   chan struct{}
+	err    atomic.Value // first fatal error
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type coordConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	dataCh  chan *core.DataResponse
+}
+
+// ListenCoordinator starts a coordinator for n nodes on addr (use
+// "127.0.0.1:0" for tests). Nodes must connect and register; Ready closes
+// after the initial full sync completes.
+func ListenCoordinator(addr string, f *core.Function, n int, cfg core.Config, opts Options) (*Coordinator, error) {
+	opts.defaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		ln:    ln,
+		f:     f,
+		n:     n,
+		cfg:   cfg,
+		opts:  opts,
+		conns: make([]*coordConn, n),
+		ready: make(chan struct{}),
+		// Nodes keep at most one violation report outstanding, and the
+		// dispatcher coalesces the queue per node, so the buffer only needs
+		// to absorb short bursts; it keeps connection readers from ever
+		// blocking on the resolution lock (which would deadlock the
+		// data-request round-trips inside a resolution).
+		violCh: make(chan *core.Violation, 64*n),
+		done:   make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	c.wg.Add(1)
+	go c.dispatchViolations()
+	return c, nil
+}
+
+// dispatchViolations serializes violation handling; it is the only caller of
+// HandleViolation, so connection readers stay free to route data responses.
+// Queued violations are coalesced per node: while a resolution is running,
+// every sync it fans out can prompt still-out-of-zone nodes to re-report, so
+// only each node's freshest report is worth resolving — older ones carry
+// stale vectors and would only multiply work.
+func (c *Coordinator) dispatchViolations() {
+	defer c.wg.Done()
+	pending := make(map[int]*core.Violation)
+	var order []int
+	drain := func() {
+		for {
+			select {
+			case v := <-c.violCh:
+				if _, ok := pending[v.NodeID]; !ok {
+					order = append(order, v.NodeID)
+				}
+				pending[v.NodeID] = v
+			default:
+				return
+			}
+		}
+	}
+	for {
+		if len(order) == 0 {
+			select {
+			case <-c.done:
+				return
+			case v := <-c.violCh:
+				pending[v.NodeID] = v
+				order = append(order, v.NodeID)
+			}
+		}
+		drain()
+		id := order[0]
+		order = order[1:]
+		v := pending[id]
+		delete(pending, id)
+		c.mu.Lock()
+		coord := c.coord
+		var err error
+		if coord != nil {
+			err = coord.HandleViolation(v)
+		}
+		c.mu.Unlock()
+		if err != nil {
+			c.fatal(err)
+			return
+		}
+	}
+}
+
+// Addr returns the listen address (for nodes to dial).
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Ready is closed once all nodes registered and the initial sync finished.
+func (c *Coordinator) Ready() <-chan struct{} { return c.ready }
+
+// Err returns the first fatal error, if any.
+func (c *Coordinator) Err() error {
+	if e := c.err.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Estimate returns the coordinator's current approximation f(x0).
+func (c *Coordinator) Estimate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coord == nil {
+		return 0
+	}
+	return c.coord.Estimate()
+}
+
+// CoordStats snapshots the protocol statistics.
+func (c *Coordinator) CoordStats() core.CoordStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coord == nil {
+		return core.CoordStats{}
+	}
+	return c.coord.Stats
+}
+
+// Close stops the listener and all connections.
+func (c *Coordinator) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.ln.Close()
+	c.mu.Lock()
+	for _, cc := range c.conns {
+		if cc != nil {
+			cc.conn.Close()
+		}
+	}
+	c.mu.Unlock()
+	close(c.done)
+	c.wg.Wait()
+}
+
+func (c *Coordinator) fatal(err error) {
+	if c.err.Load() == nil {
+		c.err.Store(err)
+	}
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	registered := 0
+	for registered < c.n {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			if !c.closed.Load() {
+				c.fatal(err)
+			}
+			return
+		}
+		// Registration: the node's first message is a DataResponse with its
+		// id and initial local vector.
+		m, err := readFrame(conn, &c.Stats)
+		if err != nil {
+			c.fatal(fmt.Errorf("transport: registration read: %w", err))
+			conn.Close()
+			continue
+		}
+		reg, ok := m.(*core.DataResponse)
+		if !ok || reg.NodeID < 0 || reg.NodeID >= c.n {
+			c.fatal(errors.New("transport: bad registration message"))
+			conn.Close()
+			continue
+		}
+		cc := &coordConn{conn: conn, dataCh: make(chan *core.DataResponse, 1)}
+		c.mu.Lock()
+		c.conns[reg.NodeID] = cc
+		c.mu.Unlock()
+		// Serve the connection immediately so Init's data requests can be
+		// answered. Violations are serialized through c.mu; data responses
+		// are routed to the in-flight request.
+		c.wg.Add(1)
+		go c.serveConn(reg.NodeID, cc)
+		registered++
+	}
+
+	// All nodes registered: build the coordinator over the socket comm and
+	// run the initial full sync.
+	c.mu.Lock()
+	c.coord = core.NewCoordinator(c.f, c.n, c.cfg, &socketComm{c: c})
+	err := c.coord.Init()
+	c.mu.Unlock()
+	if err != nil {
+		c.fatal(err)
+		return
+	}
+	close(c.ready)
+}
+
+func (c *Coordinator) serveConn(nodeID int, cc *coordConn) {
+	defer c.wg.Done()
+	for {
+		m, err := readFrame(cc.conn, &c.Stats)
+		if err != nil {
+			if !c.closed.Load() {
+				c.fatal(fmt.Errorf("transport: node %d read: %w", nodeID, err))
+			}
+			return
+		}
+		switch msg := m.(type) {
+		case *core.DataResponse:
+			cc.dataCh <- msg
+		case *core.Violation:
+			select {
+			case c.violCh <- msg:
+			default:
+				c.fatal(fmt.Errorf("transport: violation queue overflow from node %d", nodeID))
+				return
+			}
+		default:
+			c.fatal(fmt.Errorf("transport: unexpected %v from node %d", m.Type(), nodeID))
+			return
+		}
+	}
+}
+
+// socketComm implements core.NodeComm over the registered connections. It is
+// only invoked while c.mu is held (Init and HandleViolation), so the
+// request/response pairing is race-free.
+type socketComm struct {
+	c *Coordinator
+}
+
+func (s *socketComm) RequestData(id int) []float64 {
+	// Requests are strictly sequenced (the caller holds c.mu), so the next
+	// DataResponse on this connection is the reply to this request.
+	cc := s.c.conns[id]
+	if err := writeFrame(cc.conn, &core.DataRequest{NodeID: id}, s.c.opts.Latency, &s.c.Stats, &cc.writeMu); err != nil {
+		s.c.fatal(err)
+		return make([]float64, s.c.f.Dim())
+	}
+	select {
+	case resp := <-cc.dataCh:
+		return resp.X
+	case <-s.c.done:
+		return make([]float64, s.c.f.Dim())
+	case <-time.After(30 * time.Second):
+		s.c.fatal(fmt.Errorf("transport: node %d data request timed out", id))
+		return make([]float64, s.c.f.Dim())
+	}
+}
+
+func (s *socketComm) SendSync(id int, m *core.Sync) {
+	cc := s.c.conns[id]
+	if err := writeFrame(cc.conn, m, s.c.opts.Latency, &s.c.Stats, &cc.writeMu); err != nil {
+		s.c.fatal(err)
+	}
+}
+
+func (s *socketComm) SendSlack(id int, m *core.Slack) {
+	cc := s.c.conns[id]
+	if err := writeFrame(cc.conn, m, s.c.opts.Latency, &s.c.Stats, &cc.writeMu); err != nil {
+		s.c.fatal(err)
+	}
+}

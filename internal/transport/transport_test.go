@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"automon/internal/core"
+	"automon/internal/funcs"
+)
+
+// startCluster brings up a coordinator and n nodes over loopback TCP.
+func startCluster(t *testing.T, f *core.Function, n int, cfg core.Config, opts Options, initial [][]float64) (*Coordinator, []*NodeClient) {
+	t.Helper()
+	coord, err := ListenCoordinator("127.0.0.1:0", f, n, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*NodeClient, n)
+	for i := 0; i < n; i++ {
+		nodes[i], err = DialNode(coord.Addr(), i, f, initial[i], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-coord.Ready():
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never became ready")
+	}
+	if err := coord.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes {
+		if err := nd.WaitReady(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coord, nodes
+}
+
+func TestClusterMonitorsInnerProduct(t *testing.T) {
+	const half, n = 2, 3
+	f := funcs.InnerProduct(half)
+	initial := [][]float64{
+		{0.5, 0.5, 1, 1},
+		{0.5, 0.5, 1, 1},
+		{0.5, 0.5, 1, 1},
+	}
+	eps := 0.2
+	coord, nodes := startCluster(t, f, n, core.Config{Epsilon: eps}, Options{}, initial)
+	defer coord.Close()
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	// f(x̄) = 0.5+0.5 = 1 initially.
+	if got := coord.Estimate(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("initial estimate = %v, want 1", got)
+	}
+
+	// Drift all nodes upward; estimate must track within ε after updates.
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *NodeClient) {
+			defer wg.Done()
+			for step := 1; step <= 30; step++ {
+				u := 0.5 + 0.05*float64(step)
+				if err := nd.Update([]float64{u, u, 1, 1}); err != nil {
+					t.Errorf("node %d: %v", i, err)
+					return
+				}
+			}
+		}(i, nd)
+	}
+	wg.Wait()
+	if err := coord.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Stale violations queued by early-unblocked updates may still be
+	// resolving; wait for the message flow to quiesce before asserting.
+	stable, last := 0, int64(-1)
+	for stable < 5 {
+		time.Sleep(10 * time.Millisecond)
+		cur := coord.Stats.MessagesSent.Load() + coord.Stats.MessagesReceived.Load()
+		if cur == last {
+			stable++
+		} else {
+			stable = 0
+		}
+		last = cur
+	}
+	truth := 2 * (0.5 + 0.05*30) // ⟨u,v⟩ with u=2, v=1 per coord
+	if got := coord.Estimate(); math.Abs(got-truth) > eps+1e-9 {
+		t.Fatalf("estimate %v drifted beyond ε from %v", got, truth)
+	}
+	stats := coord.CoordStats()
+	if stats.FullSyncs == 0 {
+		t.Fatal("expected at least the initial full sync")
+	}
+}
+
+func TestClusterCountsTraffic(t *testing.T) {
+	const half, n = 2, 2
+	f := funcs.InnerProduct(half)
+	initial := [][]float64{{0, 0, 1, 1}, {0, 0, 1, 1}}
+	coord, nodes := startCluster(t, f, n, core.Config{Epsilon: 0.05}, Options{}, initial)
+	defer coord.Close()
+
+	for step := 1; step <= 20; step++ {
+		for _, nd := range nodes {
+			u := 0.1 * float64(step)
+			if err := nd.Update([]float64{u, u, 1, 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Wait for in-flight frames to quiesce before snapshotting counters.
+	stable := 0
+	var lastSent, lastRecv int64
+	for stable < 5 {
+		time.Sleep(20 * time.Millisecond)
+		s, r := coord.Stats.MessagesSent.Load(), coord.Stats.MessagesReceived.Load()
+		var ns, nr int64
+		for _, nd := range nodes {
+			ns += nd.Stats.MessagesSent.Load()
+			nr += nd.Stats.MessagesReceived.Load()
+		}
+		if s == lastSent && r == lastRecv && ns == r && nr == s {
+			stable++
+		} else {
+			stable = 0
+		}
+		lastSent, lastRecv = s, r
+	}
+	sent := coord.Stats.MessagesSent.Load()
+	recv := coord.Stats.MessagesReceived.Load()
+	if sent == 0 || recv == 0 {
+		t.Fatalf("traffic not accounted: sent=%d recv=%d", sent, recv)
+	}
+	if coord.Stats.WireSent.Load() <= coord.Stats.PayloadSent.Load() {
+		t.Fatal("wire bytes must exceed payload bytes")
+	}
+	// Node-side and coordinator-side message counts must mirror each other.
+	var nodeSent, nodeRecv int64
+	for _, nd := range nodes {
+		nodeSent += nd.Stats.MessagesSent.Load()
+		nodeRecv += nd.Stats.MessagesReceived.Load()
+	}
+	for _, nd := range nodes {
+		nd.Close()
+	}
+	if nodeSent != recv || nodeRecv != sent {
+		t.Fatalf("asymmetric accounting: nodes sent %d (coord recv %d), nodes recv %d (coord sent %d)",
+			nodeSent, recv, nodeRecv, sent)
+	}
+}
+
+func TestClusterWithLatency(t *testing.T) {
+	const half, n = 1, 2
+	f := funcs.InnerProduct(half)
+	initial := [][]float64{{1, 1}, {1, 1}}
+	start := time.Now()
+	coord, nodes := startCluster(t, f, n, core.Config{Epsilon: 0.5}, Options{Latency: 5 * time.Millisecond}, initial)
+	defer coord.Close()
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	// Init alone exchanges ≥ 3 messages per node with 5ms one-way latency.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("latency injection ineffective: setup took %v", elapsed)
+	}
+	if err := nodes[0].Update([]float64{5, 5}); err != nil { // forces violation round-trip
+		t.Fatal(err)
+	}
+}
+
+func TestBadRegistrationRejected(t *testing.T) {
+	f := funcs.InnerProduct(1)
+	coord, err := ListenCoordinator("127.0.0.1:0", f, 1, core.Config{Epsilon: 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// Node id out of range.
+	if _, err := DialNode(coord.Addr(), 7, f, []float64{0, 0}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for coord.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("bad registration not detected")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
