@@ -74,6 +74,9 @@ type (
 	DataRequest = core.DataRequest
 	// DataResponse returns a node's local vector.
 	DataResponse = core.DataResponse
+	// Rejoin re-registers a node after a connection loss; the coordinator
+	// answers with a full sync (see Coordinator.HandleRejoin).
+	Rejoin = core.Rejoin
 	// TuningData is a replayable prefix used by neighborhood-size tuning.
 	TuningData = core.TuningData
 	// TuneResult reports the outcome of neighborhood-size tuning.

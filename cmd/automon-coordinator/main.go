@@ -58,19 +58,26 @@ func main() {
 	defer ticker.Stop()
 	for range ticker.C {
 		if err := coord.Err(); err != nil {
-			// Node disconnects end the run.
+			// Connection churn is survivable (nodes are marked dead and can
+			// rejoin); only protocol-level faults land here and end the run.
 			stats := coord.CoordStats()
 			fmt.Printf("automon-coordinator: shutting down (%v)\n", err)
 			fmt.Printf("  full syncs %d, lazy resolved %d/%d, violations: %d neighborhood / %d safe-zone / %d faulty\n",
 				stats.FullSyncs, stats.LazyResolved, stats.LazyAttempts,
 				stats.NeighborhoodViolations, stats.SafeZoneViolations, stats.FaultyViolations)
+			fmt.Printf("  liveness: %d node deaths, %d rejoins\n", stats.NodeDeaths, stats.Rejoins)
 			fmt.Printf("  traffic: sent %d msgs / %d payload bytes / %d wire bytes; received %d msgs / %d payload bytes\n",
 				coord.Stats.MessagesSent.Load(), coord.Stats.PayloadSent.Load(), coord.Stats.WireSent.Load(),
 				coord.Stats.MessagesReceived.Load(), coord.Stats.PayloadReceived.Load())
 			return
 		}
-		fmt.Printf("estimate f(x̄) ≈ %.6g  (msgs in/out: %d/%d)\n",
-			coord.Estimate(), coord.Stats.MessagesReceived.Load(), coord.Stats.MessagesSent.Load())
+		status := ""
+		if coord.Degraded() {
+			// The ε-guarantee currently covers the live nodes only.
+			status = fmt.Sprintf("  DEGRADED: %d/%d nodes live", coord.LiveNodes(), *nodes)
+		}
+		fmt.Printf("estimate f(x̄) ≈ %.6g  (msgs in/out: %d/%d)%s\n",
+			coord.Estimate(), coord.Stats.MessagesReceived.Load(), coord.Stats.MessagesSent.Load(), status)
 	}
 }
 

@@ -23,6 +23,8 @@ func main() {
 	full := flag.Bool("full", false, "full-size parameters")
 	latency := flag.Duration("latency", 0, "injected one-way latency per message")
 	interval := flag.Duration("interval", 0, "delay between data updates (0 = as fast as possible)")
+	reconnects := flag.Int("reconnect-attempts", 6, "reconnect attempts per connection loss (-1 disables reconnection)")
+	reconnectBase := flag.Duration("reconnect-base", 50*time.Millisecond, "initial reconnect backoff (doubles per attempt, jittered)")
 	flag.Parse()
 
 	o := experiments.Options{Quick: !*full, Seed: *seed}
@@ -40,7 +42,12 @@ func main() {
 		window.Push(ds.FillSample(r, *id))
 	}
 
-	node, err := transport.DialNode(*addr, *id, w.F, window.Vector(), transport.Options{Latency: *latency})
+	opts := transport.Options{
+		Latency:              *latency,
+		MaxReconnectAttempts: *reconnects,
+		ReconnectBase:        *reconnectBase,
+	}
+	node, err := transport.DialNode(*addr, *id, w.F, window.Vector(), opts)
 	if err != nil {
 		fail(err)
 	}
@@ -58,16 +65,21 @@ func main() {
 		}
 		window.Push(s)
 		if err := node.Update(window.Vector()); err != nil {
-			fail(err)
+			// Transient faults (a resolution stalled by a dying connection)
+			// are absorbed by the reconnect loop; only a permanent failure
+			// — the retry budget ran out — ends the node.
+			if perm := node.Err(); perm != nil {
+				fail(perm)
+			}
 		}
 		updates++
 		if *interval > 0 {
 			time.Sleep(*interval)
 		}
 	}
-	fmt.Printf("automon-node %d: done — %d updates, %d messages sent (%d payload bytes), estimate %.6g\n",
+	fmt.Printf("automon-node %d: done — %d updates, %d messages sent (%d payload bytes), %d reconnects, estimate %.6g\n",
 		*id, updates, node.Stats.MessagesSent.Load()-violationsSent+1,
-		node.Stats.PayloadSent.Load(), node.CurrentValue())
+		node.Stats.PayloadSent.Load(), node.Reconnects(), node.CurrentValue())
 }
 
 func fail(err error) {

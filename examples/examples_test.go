@@ -1,0 +1,59 @@
+// Smoke tests for the runnable examples: each one is executed as a real
+// `go run` subprocess with a tiny round count and a hard timeout, asserting
+// it exits cleanly and prints its summary. This keeps the examples honest —
+// they compile against the current API and actually run end to end.
+package examples_test
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", append([]string{"run", "./" + pkg}, args...)...)
+	cmd.Dir = ".." // module root
+	out, err := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("%s timed out\n%s", pkg, out)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v\n%s", pkg, err, out)
+	}
+	return string(out)
+}
+
+func TestQuickstartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	out := runExample(t, "examples/quickstart", "-rounds", "25")
+	if !strings.Contains(out, "max error") {
+		t.Fatalf("quickstart did not print its summary:\n%s", out)
+	}
+}
+
+func TestWANSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	out := runExample(t, "examples/wan", "-rounds", "5", "-latency", "1ms")
+	if !strings.Contains(out, "estimate f(x̄)") {
+		t.Fatalf("wan did not print its summary:\n%s", out)
+	}
+}
+
+func TestWANChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	out := runExample(t, "examples/wan", "-rounds", "8", "-latency", "1ms", "-chaos-seed", "3")
+	if !strings.Contains(out, "chaos enabled") || !strings.Contains(out, "faults:") {
+		t.Fatalf("wan chaos run did not report fault injection:\n%s", out)
+	}
+}

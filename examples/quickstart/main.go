@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"math/rand"
@@ -54,6 +55,9 @@ func (l *loop) SendSlack(id int, m *automon.Slack) {
 }
 
 func main() {
+	rounds := flag.Int("rounds", 600, "data rounds to stream")
+	flag.Parse()
+
 	// The function to monitor, written once as a differentiable program —
 	// no manual analysis of its curvature is ever needed.
 	f := automon.NewFunction("tanh-mix", 2, func(b *automon.Builder, x []automon.Ref) automon.Ref {
@@ -82,8 +86,7 @@ func main() {
 
 	locals := [][]float64{{0.2, 0.2}, {0.2, 0.2}, {0.2, 0.2}}
 	maxErr := 0.0
-	const rounds = 600
-	for r := 1; r <= rounds; r++ {
+	for r := 1; r <= *rounds; r++ {
 		for i, node := range comm.nodes {
 			// Each node drifts along its own noisy path.
 			locals[i][0] += 0.0005*float64(i+1) + rng.NormFloat64()*0.001
@@ -108,5 +111,5 @@ func main() {
 		}
 	}
 	fmt.Printf("\nmax error %.5f (bound %.2f); %d messages vs %d for centralization\n",
-		maxErr, eps, comm.messages, rounds*n)
+		maxErr, eps, comm.messages, *rounds*n)
 }

@@ -6,9 +6,15 @@
 // connections. Run with:
 //
 //	go run ./examples/wan
+//
+// Pass -chaos-seed to run the same deployment over a deliberately faulty
+// network (injected delays, duplicated frames, and hard disconnects): nodes
+// drop off and rejoin mid-stream, and the run still finishes with a valid
+// estimate — the transport's fault tolerance at work.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"sync"
 	"time"
@@ -18,22 +24,44 @@ import (
 	"automon/internal/linalg"
 	"automon/internal/stream"
 	"automon/internal/transport"
+	"automon/internal/transport/chaos"
 )
 
 func main() {
+	rounds := flag.Int("rounds", 350, "data rounds to stream per node")
+	latency := flag.Duration("latency", 28*time.Millisecond, "injected one-way latency")
+	chaosSeed := flag.Int64("chaos-seed", 0, "when non-zero, inject connection faults from this seed")
+	flag.Parse()
+
 	o := experiments.Options{Quick: true, Seed: 5}
 	w := experiments.InnerProductWorkload(o, 40, 10)
 	ds := w.Data
 	const eps = 0.2
-	latency := 28 * time.Millisecond
+
+	opts := transport.Options{Latency: *latency}
+	var dialer *chaos.Dialer
+	if *chaosSeed != 0 {
+		dialer = chaos.NewDialer(chaos.Config{
+			Seed:     *chaosSeed,
+			MaxDelay: 2 * time.Millisecond,
+			Write:    chaos.FaultRates{Delay: 0.05, Duplicate: 0.02, Disconnect: 0.01},
+			Read:     chaos.FaultRates{Delay: 0.05, Disconnect: 0.01},
+		})
+		dialer.SetEnabled(false) // bring the cluster up clean, then misbehave
+		opts.Dial = dialer.Dial
+		opts.ReconnectBase = 10 * time.Millisecond
+		opts.MaxReconnectAttempts = 20
+		opts.RequestTimeout = 5 * time.Second
+		opts.ResolveTimeout = 5 * time.Second
+	}
 
 	coord, err := transport.ListenCoordinator("127.0.0.1:0", w.F, ds.Nodes,
-		core.Config{Epsilon: eps}, transport.Options{Latency: latency})
+		core.Config{Epsilon: eps}, opts)
 	if err != nil {
 		panic(err)
 	}
 	defer coord.Close()
-	fmt.Printf("coordinator listening on %s (one-way latency %v)\n", coord.Addr(), latency)
+	fmt.Printf("coordinator listening on %s (one-way latency %v)\n", coord.Addr(), *latency)
 
 	// Prepare each node's window and dial in.
 	windows := make([]stream.Windower, ds.Nodes)
@@ -43,8 +71,7 @@ func main() {
 		for r := 0; r < ds.FillRounds(); r++ {
 			windows[i].Push(ds.FillSample(r, i))
 		}
-		nodes[i], err = transport.DialNode(coord.Addr(), i, w.F, linalg.Clone(windows[i].Vector()),
-			transport.Options{Latency: latency})
+		nodes[i], err = transport.DialNode(coord.Addr(), i, w.F, linalg.Clone(windows[i].Vector()), opts)
 		if err != nil {
 			panic(err)
 		}
@@ -57,20 +84,27 @@ func main() {
 		}
 	}
 	fmt.Printf("%d nodes registered; initial estimate f(x̄) = %.4f\n\n", ds.Nodes, coord.Estimate())
+	if dialer != nil {
+		dialer.SetEnabled(true)
+		fmt.Printf("chaos enabled (seed %d): injecting delays, duplicates, disconnects\n\n", *chaosSeed)
+	}
 
 	// Stream a slice of the dataset concurrently from every node.
-	rounds := 350
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := range nodes {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			for r := 0; r < rounds; r++ {
+			for r := 0; r < *rounds; r++ {
 				if s := ds.Sample(r, i); s != nil {
 					windows[i].Push(s)
 					if err := nodes[i].Update(windows[i].Vector()); err != nil {
-						panic(err)
+						if perm := nodes[i].Err(); perm != nil {
+							panic(perm)
+						}
+						// Transient: a fault stalled this resolution; the
+						// reconnect loop repairs the connection underneath.
 					}
 				}
 			}
@@ -86,15 +120,24 @@ func main() {
 	recv := coord.Stats.MessagesReceived.Load()
 	payload := coord.Stats.PayloadSent.Load() + coord.Stats.PayloadReceived.Load()
 	wire := coord.Stats.WireSent.Load() + coord.Stats.WireReceived.Load()
-	centralPayload := int64(rounds*ds.Nodes) * int64(8*w.F.Dim()+7)
+	centralPayload := int64(*rounds*ds.Nodes) * int64(8*w.F.Dim()+7)
 
-	fmt.Printf("streamed %d rounds × %d nodes in %v\n", rounds, ds.Nodes, elapsed.Round(time.Millisecond))
+	fmt.Printf("streamed %d rounds × %d nodes in %v\n", *rounds, ds.Nodes, elapsed.Round(time.Millisecond))
 	fmt.Printf("estimate f(x̄) = %.4f\n", coord.Estimate())
 	fmt.Printf("messages: %d received + %d sent = %d total (centralization: %d)\n",
-		recv, sent, recv+sent, rounds*ds.Nodes)
+		recv, sent, recv+sent, *rounds*ds.Nodes)
 	fmt.Printf("payload:  %d bytes (centralization payload: %d bytes)\n", payload, centralPayload)
 	fmt.Printf("traffic:  %d bytes including frame + TCP/IP overhead\n", wire)
 	stats := coord.CoordStats()
 	fmt.Printf("protocol: %d full syncs, %d lazy-resolved of %d safe-zone violations\n",
 		stats.FullSyncs, stats.LazyResolved, stats.SafeZoneViolations)
+	if dialer != nil {
+		var reconnects int64
+		for _, n := range nodes {
+			reconnects += n.Reconnects()
+		}
+		fmt.Printf("faults:   %d injected (%d disconnects); %d node rejoins, %d deaths observed; degraded now: %v\n",
+			dialer.Stats.Total(), dialer.Stats.Disconnects.Load(),
+			reconnects, stats.NodeDeaths, coord.Degraded())
+	}
 }

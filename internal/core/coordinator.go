@@ -1,11 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"automon/internal/linalg"
 )
+
+// ErrNoLiveNodes is returned by sync operations when every node is marked
+// dead. It is a degraded-but-recoverable state, not a fatal one: the
+// coordinator keeps its last estimate and repairs itself on the next rejoin.
+var ErrNoLiveNodes = errors.New("core: no live nodes")
 
 // ErrorType selects the approximation semantics used to set thresholds from
 // f(x0) and ε (§2).
@@ -53,7 +59,11 @@ type Config struct {
 
 // NodeComm abstracts the coordinator→node side of the messaging fabric. The
 // simulation counts calls as messages; the transport layer sends real bytes.
-// RequestData accounts for a DataRequest and its DataResponse.
+// RequestData accounts for a DataRequest and its DataResponse. A fabric with
+// failure detection may return nil from RequestData to signal that the node
+// is unreachable (after calling MarkDead on the coordinator); the coordinator
+// then keeps its last known vector for that node and excludes it from the
+// estimate until the node rejoins.
 type NodeComm interface {
 	RequestData(nodeID int) []float64
 	SendSync(nodeID int, m *Sync)
@@ -69,6 +79,8 @@ type CoordStats struct {
 	SafeZoneViolations     int
 	FaultyViolations       int
 	RDoublings             int
+	NodeDeaths             int
+	Rejoins                int
 }
 
 // Coordinator is the AutoMon coordinator algorithm (Algorithm 1, lines 1–8)
@@ -88,9 +100,19 @@ type Coordinator struct {
 	eDec   *EDecomposition
 	method Method
 
-	sentMatrix  bool
+	// matrixSent tracks per node whether the (constant) ADCD-E matrix has
+	// been delivered. It is cleared when a node dies or rejoins: the node may
+	// have restarted as a fresh process that never saw the matrix.
+	matrixSent  []bool
 	lru         []int // least recently balanced first
 	consecNeigh int
+
+	// Liveness: dead nodes are excluded from syncs, from the reference-point
+	// average, and from lazy-sync balancing sets until they rejoin. While any
+	// node is dead the estimate is Degraded: it ε-approximates f over the
+	// average of the live nodes only.
+	live      []bool
+	liveCount int
 
 	Stats CoordStats
 }
@@ -115,10 +137,14 @@ func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator 
 	}
 	c.lastX = make([][]float64, n)
 	c.slacks = make([][]float64, n)
+	c.matrixSent = make([]bool, n)
+	c.live = make([]bool, n)
+	c.liveCount = n
 	for i := 0; i < n; i++ {
 		c.lastX[i] = make([]float64, f.Dim())
 		c.slacks[i] = make([]float64, f.Dim())
 		c.lru = append(c.lru, i)
+		c.live[i] = true
 	}
 	switch {
 	case cfg.ZoneBuilder != nil:
@@ -151,11 +177,78 @@ func (c *Coordinator) Estimate() float64 {
 // Zone returns the current safe zone (nil before Init).
 func (c *Coordinator) Zone() *SafeZone { return c.zone }
 
+// Live reports whether node id is currently considered reachable.
+func (c *Coordinator) Live(id int) bool { return c.live[id] }
+
+// LiveCount returns the number of nodes currently considered reachable.
+func (c *Coordinator) LiveCount() int { return c.liveCount }
+
+// Degraded reports whether the estimate currently covers only a subset of
+// the nodes: while any node is dead, the ε-guarantee holds for f over the
+// average of the live nodes, not the full population.
+func (c *Coordinator) Degraded() bool { return c.liveCount < c.N }
+
+// MarkDead excludes a node from syncs, the reference-point average, and lazy
+// balancing until MarkLive (or a rejoin/violation from it) revives it. The
+// messaging fabric calls it when it loses a node.
+func (c *Coordinator) MarkDead(id int) {
+	if id < 0 || id >= c.N || !c.live[id] {
+		return
+	}
+	c.live[id] = false
+	c.liveCount--
+	c.matrixSent[id] = false
+	c.Stats.NodeDeaths++
+}
+
+// MarkLive reverses MarkDead.
+func (c *Coordinator) MarkLive(id int) {
+	if id < 0 || id >= c.N || c.live[id] {
+		return
+	}
+	c.live[id] = true
+	c.liveCount++
+}
+
+// HandleDeparture marks a node dead and re-synchronizes the survivors so the
+// estimate degrades to the live-node average instead of silently averaging a
+// stale vector. Returns ErrNoLiveNodes when the departing node was the last
+// one; the estimate then freezes until a rejoin.
+func (c *Coordinator) HandleDeparture(id int) error {
+	if id < 0 || id >= c.N {
+		return fmt.Errorf("core: departure from unknown node %d", id)
+	}
+	c.MarkDead(id)
+	return c.fullSync(nil)
+}
+
+// HandleRejoin re-admits a node after a connection loss: its fresh vector
+// replaces the stale one and a full sync rebuilds the reference point, zone,
+// and slack assignment over the new live set (the returning node's previous
+// slack is void — only a full sync restores the Σᵢ sᵢ = 0 invariant).
+func (c *Coordinator) HandleRejoin(id int, x []float64) error {
+	if id < 0 || id >= c.N {
+		return fmt.Errorf("core: rejoin from unknown node %d", id)
+	}
+	c.MarkLive(id)
+	c.Stats.Rejoins++
+	c.matrixSent[id] = false
+	if x != nil {
+		copy(c.lastX[id], x)
+	}
+	return c.fullSync(map[int]bool{id: true})
+}
+
 // Init pulls all local vectors and performs the first full sync. It must be
 // called once, after the nodes hold their initial vectors.
 func (c *Coordinator) Init() error {
 	for i := 0; i < c.N; i++ {
-		copy(c.lastX[i], c.comm.RequestData(i))
+		if !c.live[i] {
+			continue
+		}
+		if x := c.comm.RequestData(i); x != nil {
+			copy(c.lastX[i], x)
+		}
 	}
 	return c.fullSync(nil)
 }
@@ -171,8 +264,22 @@ func (c *Coordinator) Resync() error { return c.fullSync(nil) }
 // otherwise. The violation's embedded vector refreshes the coordinator's
 // view of that node.
 func (c *Coordinator) HandleViolation(v *Violation) error {
+	if v.NodeID < 0 || v.NodeID >= c.N {
+		return fmt.Errorf("core: violation from unknown node %d", v.NodeID)
+	}
 	copy(c.lastX[v.NodeID], v.X)
 	fresh := map[int]bool{v.NodeID: true}
+
+	// A violation from a dead-marked node proves it is alive again (e.g. a
+	// request timeout was a false suspicion). Revival always takes a full
+	// sync: the node's slack assignment predates its death and only a full
+	// sync restores the Σᵢ sᵢ = 0 invariant across the live set.
+	if !c.live[v.NodeID] {
+		c.MarkLive(v.NodeID)
+		c.Stats.Rejoins++
+		c.matrixSent[v.NodeID] = false
+		return c.fullSync(fresh)
+	}
 
 	switch v.Kind {
 	case ViolationNeighborhood:
@@ -219,14 +326,20 @@ func (c *Coordinator) lazySync(v *Violation, fresh map[int]bool) bool {
 
 	mean := make([]float64, d)
 	for {
-		if len(set) > c.N/2 {
+		if len(set) > c.liveCount/2 {
 			return false
 		}
 		next := c.pickLRU(set)
 		if next < 0 {
 			return false
 		}
-		copy(c.lastX[next], c.comm.RequestData(next))
+		x := c.comm.RequestData(next)
+		if x == nil || !c.live[next] {
+			// The fabric lost this node mid-pull; abort balancing and let the
+			// caller fall back to a full sync over the remaining live set.
+			return false
+		}
+		copy(c.lastX[next], x)
 		fresh[next] = true
 		set = append(set, next)
 		c.touchLRU(next)
@@ -251,7 +364,9 @@ func (c *Coordinator) lazySync(v *Violation, fresh map[int]bool) bool {
 	return true
 }
 
-// pickLRU returns the least-recently-used node not already in set, or -1.
+// pickLRU returns the least-recently-used live node not already in set, or
+// -1. Dead nodes are skipped: pulling them would stall the resolution on a
+// request that can never be answered.
 func (c *Coordinator) pickLRU(set []int) int {
 	inSet := func(id int) bool {
 		for _, s := range set {
@@ -262,7 +377,7 @@ func (c *Coordinator) pickLRU(set []int) int {
 		return false
 	}
 	for _, id := range c.lru {
-		if !inSet(id) {
+		if c.live[id] && !inSet(id) {
 			return id
 		}
 	}
@@ -290,22 +405,41 @@ func (c *Coordinator) Thresholds(f0 float64) (l, u float64) {
 	return f0 - c.Cfg.Epsilon, f0 + c.Cfg.Epsilon
 }
 
-// fullSync is Algorithm 1's CoordinatorFullSync: pull all vectors (minus the
-// ones already fresh in this resolution), recompute x0, thresholds, the DC
-// decomposition and safe zone, reset slack, and sync every node.
+// fullSync is Algorithm 1's CoordinatorFullSync: pull all live vectors
+// (minus the ones already fresh in this resolution), recompute x0 over the
+// live set, thresholds, the DC decomposition and safe zone, reset slack, and
+// sync every live node. Dead nodes keep their last vector but contribute
+// nothing: the estimate degrades to the live-node average.
 func (c *Coordinator) fullSync(fresh map[int]bool) error {
 	c.Stats.FullSyncs++
 	d := c.F.Dim()
 	for i := 0; i < c.N; i++ {
-		if fresh[i] {
+		if fresh[i] || !c.live[i] {
 			continue
 		}
-		copy(c.lastX[i], c.comm.RequestData(i))
+		// A nil response means the fabric just lost this node (and marked it
+		// dead); keep the stale vector and fall through — the live set below
+		// reflects the death.
+		if x := c.comm.RequestData(i); x != nil {
+			copy(c.lastX[i], x)
+		}
+	}
+	if c.liveCount == 0 {
+		return ErrNoLiveNodes
 	}
 	if c.x0 == nil {
 		c.x0 = make([]float64, d)
 	}
-	linalg.Mean(c.x0, c.lastX...)
+	for j := range c.x0 {
+		c.x0[j] = 0
+	}
+	for i := 0; i < c.N; i++ {
+		if !c.live[i] {
+			continue
+		}
+		linalg.Add(c.x0, c.x0, c.lastX[i])
+	}
+	linalg.Scale(c.x0, 1/float64(c.liveCount), c.x0)
 	c.clampToDomain(c.x0)
 
 	f0 := c.F.Value(c.x0)
@@ -336,6 +470,14 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 	c.zone = zone
 
 	for i := 0; i < c.N; i++ {
+		if !c.live[i] {
+			// A dead node holds no slack: Σᵢ sᵢ = 0 must hold over the live
+			// set alone, and the node's own copy is rebuilt on rejoin.
+			for j := range c.slacks[i] {
+				c.slacks[i][j] = 0
+			}
+			continue
+		}
 		if c.Cfg.DisableSlack {
 			for j := range c.slacks[i] {
 				c.slacks[i][j] = 0
@@ -356,21 +498,19 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 			R:      c.r,
 			Slack:  linalg.Clone(c.slacks[i]),
 		}
-		if c.method == MethodE && !c.sentMatrix {
+		if c.method == MethodE && !c.matrixSent[i] {
 			m.WithMatrix = true
 			if zone.Kind == ConvexDiff {
 				m.Matrix = zone.HMinus
 			} else {
 				m.Matrix = zone.HPlus
 			}
+			c.matrixSent[i] = true
 		}
 		if c.method == MethodCustom {
 			m.Zone = zone
 		}
 		c.comm.SendSync(i, m)
-	}
-	if c.method == MethodE {
-		c.sentMatrix = true
 	}
 	return nil
 }

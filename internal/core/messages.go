@@ -21,6 +21,7 @@ const (
 	MsgDataResponse
 	MsgSync
 	MsgSlack
+	MsgRejoin
 )
 
 func (t MsgType) String() string {
@@ -35,6 +36,8 @@ func (t MsgType) String() string {
 		return "sync"
 	case MsgSlack:
 		return "slack"
+	case MsgRejoin:
+		return "rejoin"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
@@ -117,6 +120,14 @@ type Slack struct {
 	Slack  []float64
 }
 
+// Rejoin re-registers a node after a connection loss. It carries the node's
+// fresh raw local vector; the coordinator answers with a full sync so the
+// returning node gets a consistent zone and slack assignment.
+type Rejoin struct {
+	NodeID int
+	X      []float64
+}
+
 // Message is the common interface of protocol messages; Encode produces the
 // exact payload bytes, which the evaluation uses for bandwidth accounting
 // and the transport layer for real delivery.
@@ -139,6 +150,9 @@ func (*Sync) Type() MsgType { return MsgSync }
 
 // Type implements Message.
 func (*Slack) Type() MsgType { return MsgSlack }
+
+// Type implements Message.
+func (*Rejoin) Type() MsgType { return MsgRejoin }
 
 type encoder struct{ buf []byte }
 
@@ -284,6 +298,15 @@ func (m *Slack) Encode() []byte {
 	return e.buf
 }
 
+// Encode implements Message.
+func (m *Rejoin) Encode() []byte {
+	e := &encoder{}
+	e.u8(uint8(MsgRejoin))
+	e.u16(uint16(m.NodeID))
+	e.vec(m.X)
+	return e.buf
+}
+
 // Decode parses one encoded message.
 func Decode(buf []byte) (Message, error) {
 	d := &decoder{buf: buf}
@@ -327,6 +350,9 @@ func Decode(buf []byte) (Message, error) {
 		return m, d.err
 	case MsgSlack:
 		m := &Slack{NodeID: int(d.u16()), Slack: d.vec()}
+		return m, d.err
+	case MsgRejoin:
+		m := &Rejoin{NodeID: int(d.u16()), X: d.vec()}
 		return m, d.err
 	}
 	return nil, fmt.Errorf("core: unknown message type %d", uint8(t))

@@ -1,54 +1,154 @@
 package core
 
+// Property tests for the wire format: every message variant round-trips
+// encode→decode exactly under randomized contents (seeded, so failures
+// replay), every strict prefix of an encoding is rejected, and NaN payloads
+// survive bit-exactly.
+
 import (
+	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 
 	"automon/internal/linalg"
 )
 
-func TestMessageRoundTrips(t *testing.T) {
-	mat := linalg.NewMat(2, 2)
-	copy(mat.Data, []float64{1, 2, 2, 5})
-	msgs := []Message{
-		&Violation{NodeID: 3, Kind: ViolationSafeZone, X: []float64{1.5, -2.25}},
-		&Violation{NodeID: 0, Kind: ViolationNeighborhood, X: []float64{}},
-		&Violation{NodeID: 7, Kind: ViolationFaulty, X: []float64{0}},
-		&DataRequest{NodeID: 12},
-		&DataResponse{NodeID: 12, X: []float64{3, 4, 5}},
-		&Sync{
-			NodeID: 1, Method: MethodX, Kind: ConcaveDiff,
-			X0: []float64{0.5, -0.5}, F0: 2.5, GradF0: []float64{1, -1},
-			L: 2, U: 3, Lam: 0.75, R: 0.1, Slack: []float64{0.01, -0.01},
-		},
-		&Sync{
-			NodeID: 2, Method: MethodE, Kind: ConvexDiff,
-			X0: []float64{1, 2}, F0: 0, GradF0: []float64{0, 0},
-			L: -1, U: 1, Slack: []float64{0, 0},
-			WithMatrix: true, Matrix: mat,
-		},
-		&Slack{NodeID: 9, Slack: []float64{-0.5, 0.25, 0}},
+// randVec draws a vector with adversarial float contents: zeros, infinities,
+// huge and tiny magnitudes. NaN is excluded here (NaN ≠ NaN defeats
+// DeepEqual) and covered bit-exactly in TestNaNPayloadRoundTripsBitExact.
+func randVec(rng *rand.Rand, maxLen int) []float64 {
+	v := make([]float64, rng.Intn(maxLen+1))
+	for i := range v {
+		switch rng.Intn(6) {
+		case 0:
+			v[i] = 0
+		case 1:
+			v[i] = math.Inf(1)
+		case 2:
+			v[i] = math.Inf(-1)
+		case 3:
+			v[i] = (rng.Float64() - 0.5) * 1e300
+		case 4:
+			v[i] = rng.Float64() * 1e-300
+		default:
+			v[i] = rng.NormFloat64()
+		}
 	}
-	for _, m := range msgs {
-		buf := m.Encode()
-		got, err := Decode(buf)
-		if err != nil {
-			t.Fatalf("%v: decode: %v", m.Type(), err)
+	return v
+}
+
+func randID(rng *rand.Rand) int { return rng.Intn(1 << 16) }
+
+// messageGenerators builds one randomized instance per message variant; the
+// round-trip property below must hold for each of them.
+var messageGenerators = map[string]func(*rand.Rand) Message{
+	"violation": func(rng *rand.Rand) Message {
+		return &Violation{
+			NodeID: randID(rng),
+			Kind:   ViolationKind(1 + rng.Intn(3)),
+			X:      randVec(rng, 16),
 		}
-		if !reflect.DeepEqual(m, got) {
-			t.Fatalf("%v: round trip mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
+	},
+	"data-request": func(rng *rand.Rand) Message {
+		return &DataRequest{NodeID: randID(rng)}
+	},
+	"data-response": func(rng *rand.Rand) Message {
+		return &DataResponse{NodeID: randID(rng), X: randVec(rng, 16)}
+	},
+	"sync": func(rng *rand.Rand) Message {
+		m := &Sync{
+			NodeID: randID(rng),
+			Method: Method(rng.Intn(3)), // MethodX, MethodE, MethodNone
+			Kind:   DCKind(rng.Intn(2)),
+			X0:     randVec(rng, 16),
+			F0:     rng.NormFloat64(),
+			GradF0: randVec(rng, 16),
+			L:      -rng.Float64(),
+			U:      rng.Float64(),
+			Lam:    rng.Float64(),
+			R:      rng.Float64(),
+			Slack:  randVec(rng, 16),
 		}
+		if rng.Intn(2) == 1 {
+			n := 1 + rng.Intn(4)
+			m.WithMatrix = true
+			m.Matrix = linalg.NewMat(n, n)
+			for i := range m.Matrix.Data {
+				m.Matrix.Data[i] = rng.NormFloat64()
+			}
+		}
+		return m
+	},
+	"slack": func(rng *rand.Rand) Message {
+		return &Slack{NodeID: randID(rng), Slack: randVec(rng, 16)}
+	},
+	"rejoin": func(rng *rand.Rand) Message {
+		return &Rejoin{NodeID: randID(rng), X: randVec(rng, 16)}
+	},
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	for name, gen := range messageGenerators {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			for iter := 0; iter < 150; iter++ {
+				m := gen(rng)
+				got, err := Decode(m.Encode())
+				if err != nil {
+					t.Fatalf("iter %d: decode: %v", iter, err)
+				}
+				if !reflect.DeepEqual(m, got) {
+					t.Fatalf("iter %d: round trip mismatch:\n got %#v\nwant %#v", iter, got, m)
+				}
+			}
+		})
 	}
 }
 
-func TestDecodeTruncated(t *testing.T) {
-	full := (&Sync{
-		NodeID: 1, Method: MethodX, Kind: ConvexDiff,
-		X0: []float64{1, 2}, GradF0: []float64{3, 4}, Slack: []float64{5, 6},
-	}).Encode()
-	for cut := 0; cut < len(full); cut++ {
-		if _, err := Decode(full[:cut]); err == nil {
-			t.Fatalf("truncation at %d bytes not detected", cut)
+func TestDecodeTruncatedProperty(t *testing.T) {
+	// Every strict prefix of every variant's encoding must error, not panic
+	// and not decode to a half-read message.
+	for name, gen := range messageGenerators {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			for iter := 0; iter < 20; iter++ {
+				full := gen(rng).Encode()
+				for cut := 0; cut < len(full); cut++ {
+					if _, err := Decode(full[:cut]); err == nil {
+						t.Fatalf("iter %d: truncation at %d/%d bytes not detected",
+							iter, cut, len(full))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNaNPayloadRoundTripsBitExact(t *testing.T) {
+	// Vectors may legitimately carry NaN (e.g. an uninitialized feature);
+	// the wire format must preserve the exact bit pattern, including the
+	// NaN payload bits DeepEqual cannot compare.
+	bits := []uint64{
+		0x7ff8000000000001, // quiet NaN with payload
+		math.Float64bits(math.NaN()),
+		0xfff8000000000000, // negative quiet NaN
+	}
+	x := make([]float64, len(bits))
+	for i, b := range bits {
+		x[i] = math.Float64frombits(b)
+	}
+	got, err := Decode((&DataResponse{NodeID: 1, X: x}).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := got.(*DataResponse)
+	if !ok || len(resp.X) != len(bits) {
+		t.Fatalf("decoded %#v", got)
+	}
+	for i, b := range bits {
+		if gotBits := math.Float64bits(resp.X[i]); gotBits != b {
+			t.Fatalf("element %d: bits %#x → %#x", i, b, gotBits)
 		}
 	}
 }
@@ -56,6 +156,9 @@ func TestDecodeTruncated(t *testing.T) {
 func TestDecodeUnknownType(t *testing.T) {
 	if _, err := Decode([]byte{0xFF, 0, 0}); err == nil {
 		t.Fatal("unknown type not rejected")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer not rejected")
 	}
 }
 

@@ -95,6 +95,12 @@ func (n *Node) ApplySync(m *Sync) {
 	if m.WithMatrix {
 		n.eMatrix = m.Matrix
 	}
+	if m.Method == MethodE && n.eMatrix == nil {
+		// An ADCD-E zone is unusable without its matrix (possible only if a
+		// faulty fabric separated this sync from the matrix delivery); keep
+		// the previous zone rather than installing one that cannot be checked.
+		return
+	}
 	z := &SafeZone{
 		Method: m.Method,
 		Kind:   m.Kind,

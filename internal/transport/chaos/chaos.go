@@ -1,0 +1,284 @@
+// Package chaos wraps net.Conn with deterministic fault injection for
+// protocol-under-fault testing: message delay, drop, duplication, mid-frame
+// truncation, and hard disconnects, configurable per direction and driven by
+// a seeded RNG so a failing schedule replays exactly.
+//
+// The transport layer writes each frame with a single Write call, so a
+// write-side fault acts on a whole frame: a drop silently discards one
+// message, a duplicate delivers it twice, a truncation delivers a prefix and
+// kills the connection mid-frame. Read-side faults act on the raw byte
+// stream and may desynchronize framing — exactly the corruption a flaky
+// link produces — which the endpoints must survive by recycling the
+// connection and rejoining.
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is returned by operations that a fault turned into a
+// disconnect.
+var ErrInjected = errors.New("chaos: injected connection failure")
+
+// FaultRates holds per-operation fault probabilities for one direction. At
+// most one fault fires per operation; the probabilities are evaluated
+// cumulatively, so their sum must be ≤ 1.
+type FaultRates struct {
+	// Delay sleeps a random duration up to Config.MaxDelay.
+	Delay float64
+	// Drop (write): pretend success, deliver nothing — one whole frame
+	// vanishes. Drop (read): discard the bytes read, desynchronizing the
+	// stream until the connection is recycled.
+	Drop float64
+	// Duplicate (write): deliver the frame twice. Duplicate (read): replay
+	// the bytes just read on the next read.
+	Duplicate float64
+	// Truncate delivers a prefix of the data and hard-closes the connection
+	// — the mid-frame cut a dying link produces.
+	Truncate float64
+	// Disconnect hard-closes the connection.
+	Disconnect float64
+}
+
+// Config configures a fault-injecting connection or dialer.
+type Config struct {
+	// Seed drives every fault decision; the same seed over the same
+	// operation sequence yields the same fault schedule.
+	Seed int64
+	// MaxDelay bounds injected delays (default 20ms).
+	MaxDelay time.Duration
+	// Read and Write configure per-direction fault rates.
+	Read, Write FaultRates
+}
+
+// Stats counts injected faults; aggregated per Dialer across all its
+// connections, or per standalone Conn.
+type Stats struct {
+	Delays      atomic.Int64
+	Drops       atomic.Int64
+	Duplicates  atomic.Int64
+	Truncations atomic.Int64
+	Disconnects atomic.Int64
+}
+
+// Total returns the total number of injected faults.
+func (s *Stats) Total() int64 {
+	return s.Delays.Load() + s.Drops.Load() + s.Duplicates.Load() +
+		s.Truncations.Load() + s.Disconnects.Load()
+}
+
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDelay
+	faultDrop
+	faultDuplicate
+	faultTruncate
+	faultDisconnect
+)
+
+// Conn is a net.Conn that injects faults. Wrap an established connection
+// with Wrap, or let a Dialer produce them.
+type Conn struct {
+	net.Conn
+
+	mu      sync.Mutex // guards rng and replay
+	rng     *rand.Rand
+	replay  []byte // read bytes scheduled for duplication
+	cfg     Config
+	enabled *atomic.Bool // shared kill switch; nil = always enabled
+	stats   *Stats
+}
+
+// Wrap returns a fault-injecting wrapper around conn. The connection owns a
+// private Stats; use a Dialer to aggregate across connections.
+func Wrap(conn net.Conn, cfg Config) *Conn {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 20 * time.Millisecond
+	}
+	return &Conn{
+		Conn:  conn,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+		stats: &Stats{},
+	}
+}
+
+// Stats exposes the fault counters backing this connection.
+func (c *Conn) Stats() *Stats { return c.stats }
+
+// pick draws at most one fault for this operation. delay is returned
+// separately so the sleep can happen outside the RNG lock.
+func (c *Conn) pick(r FaultRates) (fault, time.Duration, int64) {
+	if c.enabled != nil && !c.enabled.Load() {
+		return faultNone, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.rng.Float64()
+	cut := c.rng.Int63() // consumed always, so schedules stay aligned
+	var delay time.Duration
+	if c.cfg.MaxDelay > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay) + 1))
+	}
+	switch {
+	case p < r.Disconnect:
+		return faultDisconnect, 0, cut
+	case p < r.Disconnect+r.Truncate:
+		return faultTruncate, 0, cut
+	case p < r.Disconnect+r.Truncate+r.Drop:
+		return faultDrop, 0, cut
+	case p < r.Disconnect+r.Truncate+r.Drop+r.Duplicate:
+		return faultDuplicate, 0, cut
+	case p < r.Disconnect+r.Truncate+r.Drop+r.Duplicate+r.Delay:
+		return faultDelay, delay, cut
+	}
+	return faultNone, 0, cut
+}
+
+// Write injects write-direction faults. The transport writes one frame per
+// call, so frame-level semantics (drop/duplicate a whole message) emerge
+// naturally.
+func (c *Conn) Write(p []byte) (int, error) {
+	f, delay, cut := c.pick(c.cfg.Write)
+	switch f {
+	case faultDisconnect:
+		c.stats.Disconnects.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjected
+	case faultTruncate:
+		c.stats.Truncations.Add(1)
+		k := 0
+		if len(p) > 0 {
+			k = int(cut % int64(len(p)))
+		}
+		c.Conn.Write(p[:k])
+		c.Conn.Close()
+		return k, ErrInjected
+	case faultDrop:
+		c.stats.Drops.Add(1)
+		return len(p), nil
+	case faultDuplicate:
+		c.stats.Duplicates.Add(1)
+		n, err := c.Conn.Write(p)
+		if err != nil {
+			return n, err
+		}
+		c.Conn.Write(p) // best effort; the peer sees the frame twice
+		return n, nil
+	case faultDelay:
+		c.stats.Delays.Add(1)
+		time.Sleep(delay)
+	}
+	return c.Conn.Write(p)
+}
+
+// Read injects read-direction faults on the raw byte stream.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if len(c.replay) > 0 {
+		n := copy(p, c.replay)
+		c.replay = c.replay[n:]
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+
+	f, delay, cut := c.pick(c.cfg.Read)
+	switch f {
+	case faultDisconnect:
+		c.stats.Disconnects.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjected
+	case faultTruncate:
+		c.stats.Truncations.Add(1)
+		n, err := c.Conn.Read(p)
+		if err != nil {
+			return n, err
+		}
+		k := 0
+		if n > 0 {
+			k = int(cut % int64(n))
+		}
+		c.Conn.Close()
+		return k, ErrInjected
+	case faultDrop:
+		c.stats.Drops.Add(1)
+		// Swallow one chunk of the stream, then serve the next one.
+		if _, err := c.Conn.Read(p); err != nil {
+			return 0, err
+		}
+		return c.Conn.Read(p)
+	case faultDuplicate:
+		c.stats.Duplicates.Add(1)
+		n, err := c.Conn.Read(p)
+		if err != nil {
+			return n, err
+		}
+		c.mu.Lock()
+		c.replay = append(c.replay, p[:n]...)
+		c.mu.Unlock()
+		return n, nil
+	case faultDelay:
+		c.stats.Delays.Add(1)
+		time.Sleep(delay)
+	}
+	return c.Conn.Read(p)
+}
+
+// Kill hard-closes the underlying connection, bypassing probabilities —
+// for schedules that must disconnect at a deterministic point.
+func (c *Conn) Kill() {
+	c.stats.Disconnects.Add(1)
+	c.Conn.Close()
+}
+
+// Dialer produces fault-injecting connections for transport.Options.Dial.
+// Each connection gets an RNG seeded from the dialer's master seed, so the
+// schedule across reconnections is reproducible. All connections share the
+// dialer's Stats and its enable switch.
+type Dialer struct {
+	cfg     Config
+	enabled atomic.Bool
+	mu      sync.Mutex
+	seeds   *rand.Rand
+	Stats   Stats
+}
+
+// NewDialer returns an enabled Dialer for cfg.
+func NewDialer(cfg Config) *Dialer {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 20 * time.Millisecond
+	}
+	d := &Dialer{cfg: cfg, seeds: rand.New(rand.NewSource(cfg.Seed))}
+	d.enabled.Store(true)
+	return d
+}
+
+// SetEnabled toggles fault injection on every connection this dialer has
+// produced or will produce. Disabled connections pass bytes through
+// untouched (and draw nothing from their RNGs).
+func (d *Dialer) SetEnabled(on bool) { d.enabled.Store(on) }
+
+// Dial connects like net.DialTimeout and wraps the result.
+func (d *Dialer) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	conn, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	seed := d.seeds.Int63()
+	d.mu.Unlock()
+	cfg := d.cfg
+	cfg.Seed = seed
+	cc := Wrap(conn, cfg)
+	cc.enabled = &d.enabled
+	cc.stats = &d.Stats
+	return cc, nil
+}

@@ -65,6 +65,51 @@ func TestNodeSurvivesCoordinatorShutdown(t *testing.T) {
 	t.Fatal("node never noticed the coordinator was gone")
 }
 
+func TestWaitReadyFailsFastOnDeadClient(t *testing.T) {
+	// A listener that drops every connection immediately: registration
+	// succeeds at the TCP level, but the client's serve loop dies right away
+	// and — with reconnection disabled — the client fails permanently.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+
+	f := funcs.InnerProduct(1)
+	node, err := DialNode(ln.Addr().String(), 0, f, []float64{0, 0},
+		Options{MaxReconnectAttempts: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	// Wait until the failure is recorded, then WaitReady must return at once
+	// even with a long timeout — not sit out the full duration.
+	deadline := time.Now().Add(5 * time.Second)
+	for node.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("client never recorded the connection failure")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	start := time.Now()
+	if err := node.WaitReady(time.Hour); err == nil {
+		t.Fatal("WaitReady succeeded on a dead client")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("WaitReady took %v on an already-failed client; must return immediately", elapsed)
+	}
+}
+
 func TestWaitReadyTimesOut(t *testing.T) {
 	f := funcs.InnerProduct(1)
 	// Coordinator expects 2 nodes; only one dials in, so Ready never fires

@@ -2,8 +2,10 @@ package transport
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"automon/internal/core"
@@ -15,13 +17,24 @@ import (
 // zones, and reports violations (blocking until the coordinator resolves
 // them, matching the §3.7 assumption that data arrives slower than
 // resolutions complete).
+//
+// Connection losses are survivable: the client reconnects with exponentially
+// backed-off, jittered retries, re-registers through a Rejoin message, and
+// receives a fresh full-sync state from the coordinator. Only exhausting
+// MaxReconnectAttempts (or Close) ends the client; Err then reports the
+// cause and WaitReady/Update unblock immediately.
 type NodeClient struct {
 	ID    int
 	Stats TrafficStats
 
-	conn    net.Conn
-	writeMu sync.Mutex
+	addr    string
 	opts    Options
+	writeMu sync.Mutex
+
+	stateMu sync.Mutex // guards conn, err, closed
+	conn    net.Conn
+	err     error
+	closed  bool
 
 	mu       sync.Mutex // guards node and reported
 	node     *core.Node
@@ -30,55 +43,128 @@ type NodeClient struct {
 	ready    chan struct{}
 	readyOne sync.Once
 
-	errMu  sync.Mutex
-	err    error
-	closed bool
-	wg     sync.WaitGroup
+	failed     chan struct{} // closed on permanent failure
+	failedOnce sync.Once
+	closeCh    chan struct{}
+	closeOnce  sync.Once
+	reconnects atomic.Int64
+
+	rng *rand.Rand // backoff jitter; used only by the run goroutine
+	wg  sync.WaitGroup
 }
 
 // DialNode connects to the coordinator, registers node id with its initial
 // local vector, and starts serving coordinator messages.
 func DialNode(addr string, id int, f *core.Function, initial []float64, opts Options) (*NodeClient, error) {
 	opts.defaults()
-	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	conn, err := opts.Dial("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
+	seed := opts.ReconnectSeed
+	if seed == 0 {
+		seed = int64(id) + 1
+	}
 	c := &NodeClient{
 		ID:       id,
+		addr:     addr,
 		conn:     conn,
 		opts:     opts,
 		node:     core.NewNode(id, f),
 		resolved: make(chan struct{}, 1),
 		ready:    make(chan struct{}),
+		failed:   make(chan struct{}),
+		closeCh:  make(chan struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
 	}
 	c.node.SetData(initial)
-	if err := writeFrame(conn, &core.DataResponse{NodeID: id, X: initial}, opts.Latency, &c.Stats, &c.writeMu); err != nil {
+	if err := writeFrame(conn, &core.DataResponse{NodeID: id, X: initial}, opts.Latency, opts.WriteTimeout, &c.Stats, &c.writeMu); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	c.wg.Add(1)
-	go c.readLoop()
+	go c.run()
 	return c, nil
 }
 
-func (c *NodeClient) readLoop() {
+// run owns the connection lifecycle: serve the current connection until it
+// dies, then reconnect and rejoin, until Close or the retry budget runs out.
+func (c *NodeClient) run() {
 	defer c.wg.Done()
 	for {
-		m, err := readFrame(c.conn, &c.Stats)
-		if err != nil {
+		cause := c.serve()
+		if c.isClosed() {
+			return
+		}
+		if err := c.reconnect(cause); err != nil {
 			c.fail(err)
 			return
+		}
+	}
+}
+
+// currentConn snapshots the active connection (nil after Close).
+func (c *NodeClient) currentConn() net.Conn {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.conn
+}
+
+// setConn installs a fresh connection; returns false if the client was
+// closed while dialing (the connection is then discarded).
+func (c *NodeClient) setConn(conn net.Conn) bool {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		conn.Close()
+		return false
+	}
+	c.conn = conn
+	c.stateMu.Unlock()
+	return true
+}
+
+func (c *NodeClient) isClosed() bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.closed
+}
+
+// send writes one frame on the current connection. On failure the
+// connection is closed so the run loop notices and recycles it; the message
+// itself is not retried — the post-rejoin full sync restores consistency.
+func (c *NodeClient) send(m core.Message) error {
+	conn := c.currentConn()
+	if conn == nil {
+		return errNotConnected
+	}
+	if err := writeFrame(conn, m, c.opts.Latency, c.opts.WriteTimeout, &c.Stats, &c.writeMu); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+// serve reads coordinator messages on the current connection until it dies.
+func (c *NodeClient) serve() error {
+	conn := c.currentConn()
+	if conn == nil {
+		return errNotConnected
+	}
+	for {
+		m, err := readFrame(conn, 0, &c.Stats)
+		if err != nil {
+			conn.Close()
+			return err
 		}
 		switch msg := m.(type) {
 		case *core.DataRequest:
 			c.mu.Lock()
 			x := c.node.LocalVector()
 			c.mu.Unlock()
-			if err := writeFrame(c.conn, &core.DataResponse{NodeID: c.ID, X: x}, c.opts.Latency, &c.Stats, &c.writeMu); err != nil {
-				c.fail(err)
-				return
-			}
+			// A failed reply closes the connection; the read above will
+			// surface it on the next loop.
+			_ = c.send(&core.DataResponse{NodeID: c.ID, X: x})
 		case *core.Sync:
 			c.mu.Lock()
 			c.node.ApplySync(msg)
@@ -95,9 +181,70 @@ func (c *NodeClient) readLoop() {
 			c.recheck()
 			c.signalResolved()
 		default:
-			c.fail(fmt.Errorf("transport: node %d received unexpected %v", c.ID, m.Type()))
-			return
+			// A corrupt or misrouted stream; recycle the connection rather
+			// than dying — the rejoin full sync re-establishes a clean state.
+			conn.Close()
+			return fmt.Errorf("transport: node %d received unexpected %v", c.ID, m.Type())
 		}
+	}
+}
+
+// reconnect re-establishes the coordinator connection with exponential
+// backoff and jitter, re-registering through a Rejoin carrying the current
+// local vector. cause is the connection error that triggered it.
+func (c *NodeClient) reconnect(cause error) error {
+	if c.opts.MaxReconnectAttempts < 0 {
+		return cause
+	}
+	backoff := c.opts.ReconnectBase
+	for attempt := 1; attempt <= c.opts.MaxReconnectAttempts; attempt++ {
+		// Jitter uniformly over [backoff/2, backoff] so a herd of nodes
+		// killed by the same fault does not reconnect in lockstep.
+		d := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+		select {
+		case <-c.closeCh:
+			return cause
+		case <-time.After(d):
+		}
+		conn, err := c.opts.Dial("tcp", c.addr, c.opts.DialTimeout)
+		if err == nil {
+			c.mu.Lock()
+			x := c.node.LocalVector()
+			// Any outstanding report died with the old connection; the
+			// rejoin full sync re-evaluates the constraints from scratch.
+			c.reported = false
+			c.mu.Unlock()
+			err = writeFrame(conn, &core.Rejoin{NodeID: c.ID, X: x}, c.opts.Latency, c.opts.WriteTimeout, &c.Stats, &c.writeMu)
+			if err == nil {
+				if !c.setConn(conn) {
+					return cause
+				}
+				c.reconnects.Add(1)
+				return nil
+			}
+			conn.Close()
+		}
+		if backoff < c.opts.ReconnectMax {
+			backoff *= 2
+			if backoff > c.opts.ReconnectMax {
+				backoff = c.opts.ReconnectMax
+			}
+		}
+	}
+	return fmt.Errorf("transport: node %d gave up after %d reconnect attempts: %w",
+		c.ID, c.opts.MaxReconnectAttempts, cause)
+}
+
+// Reconnects returns how many times the client has successfully rejoined
+// after a connection loss.
+func (c *NodeClient) Reconnects() int64 { return c.reconnects.Load() }
+
+// DropConnection forcibly closes the current connection, as a network fault
+// would. The client reconnects and rejoins through its normal recovery path;
+// chaos tests use it to schedule deterministic node kills.
+func (c *NodeClient) DropConnection() {
+	if conn := c.currentConn(); conn != nil {
+		conn.Close()
 	}
 }
 
@@ -124,9 +271,9 @@ func (c *NodeClient) recheck() {
 	if v == nil {
 		return
 	}
-	if err := writeFrame(c.conn, v, c.opts.Latency, &c.Stats, &c.writeMu); err != nil {
-		c.fail(err)
-	}
+	// A send failure recycles the connection; the rejoin sync re-triggers
+	// this check, so the report is not lost for good.
+	_ = c.send(v)
 }
 
 func (c *NodeClient) signalResolved() {
@@ -136,39 +283,53 @@ func (c *NodeClient) signalResolved() {
 	}
 }
 
+// fail records a permanent failure (reconnection exhausted or disabled).
 func (c *NodeClient) fail(err error) {
-	c.errMu.Lock()
-	defer c.errMu.Unlock()
+	c.stateMu.Lock()
 	if c.err == nil && !c.closed {
 		c.err = err
 	}
+	c.stateMu.Unlock()
+	c.failedOnce.Do(func() { close(c.failed) })
 	c.signalResolved() // unblock any waiting Update
 }
 
 // WaitReady blocks until the node has installed its first safe zone (the
-// initial full sync reached it) or the timeout expires. Call it after the
-// coordinator reports Ready before streaming updates: until the first Sync
-// arrives the node is silent by design, so updates pushed earlier are not
-// monitored.
+// initial full sync reached it), the client permanently fails, or the
+// timeout expires. Call it after the coordinator reports Ready before
+// streaming updates: until the first Sync arrives the node is silent by
+// design, so updates pushed earlier are not monitored.
 func (c *NodeClient) WaitReady(timeout time.Duration) error {
+	// A failure that precedes readiness must surface immediately, not after
+	// the full timeout.
+	select {
+	case <-c.failed:
+		return fmt.Errorf("transport: node %d failed before its first sync: %w", c.ID, c.Err())
+	default:
+	}
 	select {
 	case <-c.ready:
 		return nil
+	case <-c.failed:
+		return fmt.Errorf("transport: node %d failed before its first sync: %w", c.ID, c.Err())
 	case <-time.After(timeout):
 		return fmt.Errorf("transport: node %d never received its first sync", c.ID)
 	}
 }
 
-// Err returns the first connection error, if any.
+// Err returns the permanent failure, if any. Transient connection losses
+// that the reconnect loop absorbed do not count.
 func (c *NodeClient) Err() error {
-	c.errMu.Lock()
-	defer c.errMu.Unlock()
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
 	return c.err
 }
 
 // Update installs a new local vector, checks the local constraints, and —
 // if they are violated — reports to the coordinator and blocks until the
-// violation is resolved (new slack or safe zone installed).
+// violation is resolved (new slack or safe zone installed). A connection
+// loss during the wait is absorbed: the rejoin full sync resolves the
+// violation like any other sync.
 func (c *NodeClient) Update(x []float64) error {
 	c.mu.Lock()
 	// Drain a stale resolution signal so we wait for a fresh one.
@@ -186,14 +347,14 @@ func (c *NodeClient) Update(x []float64) error {
 		return c.Err()
 	}
 	if send {
-		if err := writeFrame(c.conn, v, c.opts.Latency, &c.Stats, &c.writeMu); err != nil {
-			return err
-		}
+		// A failed report is not fatal: the connection recycles, the rejoin
+		// full sync re-checks the constraints, and the wait below completes.
+		_ = c.send(v)
 	}
 	// Resolution signals are not addressed to a specific violation (a sync
 	// triggered by another node's violation also lands here), so wait until
 	// this node's constraints actually hold again.
-	deadline := time.After(30 * time.Second)
+	deadline := time.After(c.opts.ResolveTimeout)
 	for {
 		select {
 		case <-c.resolved:
@@ -219,11 +380,15 @@ func (c *NodeClient) CurrentValue() float64 {
 	return c.node.CurrentValue()
 }
 
-// Close tears down the connection.
+// Close tears down the connection and stops the reconnect loop.
 func (c *NodeClient) Close() {
-	c.errMu.Lock()
+	c.stateMu.Lock()
 	c.closed = true
-	c.errMu.Unlock()
-	c.conn.Close()
+	conn := c.conn
+	c.stateMu.Unlock()
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	if conn != nil {
+		conn.Close()
+	}
 	c.wg.Wait()
 }

@@ -5,9 +5,18 @@
 // 56 ms RTT). Every frame is accounted twice: payload bytes (the §4.7
 // "payload" series) and estimated wire bytes including framing and TCP/IP
 // overhead (the "traffic" series Nethogs would report).
+//
+// Unlike the paper's prototype, the fabric is fault tolerant: per-frame
+// deadlines bound every read and write, nodes reconnect with exponential
+// backoff and re-register through a Rejoin message, and the coordinator
+// tracks liveness — a silent or disconnected node is marked dead, excluded
+// from lazy-sync balancing, and the estimate degrades to the live-node
+// average (Coordinator.Degraded) instead of the whole run dying on the
+// first dropped frame.
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,8 +36,34 @@ const perMessageWireOverhead = 66
 // frameHeader is the length prefix added to every message.
 const frameHeader = 4
 
+// maxFrameLen caps the declared length of a frame; anything larger is a
+// protocol error, not an allocation request.
+const maxFrameLen = 1 << 28
+
+// initialFrameAlloc bounds the up-front buffer for a frame body. The body is
+// then read incrementally, so a lying length prefix can never force more
+// allocation than bytes actually delivered (plus this constant).
+const initialFrameAlloc = 64 << 10
+
+// Protocol-class errors: the peer spoke, but spoke garbage. These are
+// distinguished from I/O errors (timeouts, resets, EOF), which the
+// fault-tolerance layer treats as survivable connection churn.
+var (
+	errFrameTooLarge  = errors.New("transport: oversized frame")
+	errMalformedFrame = errors.New("transport: malformed frame")
+	errNotConnected   = errors.New("transport: not connected")
+)
+
+// isProtocolError reports whether err indicates a malformed or hostile peer
+// rather than a flaky link.
+func isProtocolError(err error) bool {
+	return errors.Is(err, errFrameTooLarge) || errors.Is(err, errMalformedFrame)
+}
+
 // TrafficStats counts one side's traffic. All fields are updated atomically
-// and may be read concurrently.
+// and may be read concurrently. The accounting identity
+// Wire = Payload + Messages·(frameHeader + perMessageWireOverhead) holds on
+// both counters at all times, including under injected faults.
 type TrafficStats struct {
 	MessagesSent     atomic.Int64
 	MessagesReceived atomic.Int64
@@ -56,60 +91,140 @@ type Options struct {
 	Latency time.Duration
 	// DialTimeout bounds node connection attempts (default 5s).
 	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 10s). A write
+	// that cannot complete within it fails the connection, which the
+	// fault-tolerance layer treats as a disconnect.
+	WriteTimeout time.Duration
+	// RequestTimeout bounds a coordinator data-request round trip (default
+	// 30s). On expiry the node is marked dead and its connection recycled.
+	RequestTimeout time.Duration
+	// RegisterTimeout bounds reading the first (registration or rejoin)
+	// frame of a new connection (default 10s).
+	RegisterTimeout time.Duration
+	// ResolveTimeout bounds how long NodeClient.Update waits for a violation
+	// to resolve (default 30s).
+	ResolveTimeout time.Duration
+	// MaxReconnectAttempts is how many times a node retries a lost
+	// connection before giving up for good. 0 means the default of 6;
+	// negative disables reconnection entirely (a connection error is
+	// immediately fatal to the client, the pre-fault-tolerance behavior).
+	MaxReconnectAttempts int
+	// ReconnectBase is the first reconnect backoff (default 50ms); each
+	// attempt doubles it up to ReconnectMax (default 2s). The actual sleep
+	// is jittered uniformly over [backoff/2, backoff].
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// ReconnectSeed seeds the jitter RNG (0 = derived from the node id), so
+	// tests can make backoff schedules reproducible.
+	ReconnectSeed int64
+	// Dial replaces net.DialTimeout for node connections. The chaos package
+	// uses it to interpose fault-injecting connections.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (o *Options) defaults() {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
 	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.RegisterTimeout <= 0 {
+		o.RegisterTimeout = 10 * time.Second
+	}
+	if o.ResolveTimeout <= 0 {
+		o.ResolveTimeout = 30 * time.Second
+	}
+	if o.MaxReconnectAttempts == 0 {
+		o.MaxReconnectAttempts = 6
+	}
+	if o.ReconnectBase <= 0 {
+		o.ReconnectBase = 50 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 2 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = net.DialTimeout
+	}
 }
 
 // writeFrame sends one length-prefixed message after the simulated one-way
-// latency.
-func writeFrame(conn net.Conn, m core.Message, latency time.Duration, stats *TrafficStats, mu *sync.Mutex) error {
+// latency. The header and payload go out in a single Write so that a frame
+// is the atomic unit a fault injector can drop or duplicate without
+// desynchronizing the stream.
+func writeFrame(conn net.Conn, m core.Message, latency, timeout time.Duration, stats *TrafficStats, mu *sync.Mutex) error {
 	payload := m.Encode()
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("%w: encoding %d bytes", errFrameTooLarge, len(payload))
+	}
 	if latency > 0 {
 		time.Sleep(latency)
 	}
-	var hdr [frameHeader]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[:frameHeader], uint32(len(payload)))
+	copy(buf[frameHeader:], payload)
 	mu.Lock()
 	defer mu.Unlock()
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer conn.SetWriteDeadline(time.Time{})
 	}
-	if _, err := conn.Write(payload); err != nil {
+	if _, err := conn.Write(buf); err != nil {
 		return err
 	}
 	stats.countSend(len(payload))
 	return nil
 }
 
-// readFrame reads one length-prefixed message.
-func readFrame(conn net.Conn, stats *TrafficStats) (core.Message, error) {
+// readFrame reads one length-prefixed message, with an optional deadline
+// (0 = block until the peer speaks or the connection dies).
+func readFrame(conn net.Conn, timeout time.Duration, stats *TrafficStats) (core.Message, error) {
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	return decodeFrame(conn, stats)
+}
+
+// decodeFrame reads one frame from r. Allocation tracks delivered bytes, so
+// a hostile or truncated length prefix costs at most initialFrameAlloc.
+func decodeFrame(r io.Reader, stats *TrafficStats) (core.Message, error) {
 	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > 1<<28 {
-		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("%w: declared %d bytes", errFrameTooLarge, n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(conn, buf); err != nil {
+	var body bytes.Buffer
+	grow := int(n)
+	if grow > initialFrameAlloc {
+		grow = initialFrameAlloc
+	}
+	body.Grow(grow)
+	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, err
 	}
-	m, err := core.Decode(buf)
+	m, err := core.Decode(body.Bytes())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", errMalformedFrame, err)
 	}
-	stats.countRecv(len(buf))
+	stats.countRecv(int(n))
 	return m, nil
 }
 
 // Coordinator runs the AutoMon coordinator behind a TCP listener. Create it
 // with ListenCoordinator, wait for Ready, and read Estimate while nodes
-// stream updates.
+// stream updates. Node connections may come and go: a lost node is marked
+// dead and the estimate degrades to the live-node average until it rejoins.
 type Coordinator struct {
 	ln    net.Listener
 	f     *core.Function
@@ -118,11 +233,18 @@ type Coordinator struct {
 	opts  Options
 	Stats TrafficStats
 
-	mu     sync.Mutex // guards coord (single resolution at a time)
-	coord  *core.Coordinator
-	conns  []*coordConn
+	mu    sync.Mutex // guards coord (single resolution at a time)
+	coord *core.Coordinator
+
+	connsMu     sync.Mutex // guards conns, pending, registered, initStarted
+	conns       []*coordConn
+	pending     map[net.Conn]struct{}
+	registered  int
+	initStarted bool
+
 	ready  chan struct{}
 	violCh chan *core.Violation
+	deadCh chan int
 	done   chan struct{}
 	err    atomic.Value // first fatal error
 	closed atomic.Bool
@@ -130,9 +252,23 @@ type Coordinator struct {
 }
 
 type coordConn struct {
-	conn    net.Conn
-	writeMu sync.Mutex
-	dataCh  chan *core.DataResponse
+	id       int
+	conn     net.Conn
+	writeMu  sync.Mutex
+	dataCh   chan *core.DataResponse
+	gone     chan struct{} // closed when this connection's reader exits
+	goneOnce sync.Once
+}
+
+func (cc *coordConn) markGone() { cc.goneOnce.Do(func() { close(cc.gone) }) }
+
+func (cc *coordConn) isGone() bool {
+	select {
+	case <-cc.gone:
+		return true
+	default:
+		return false
+	}
 }
 
 // ListenCoordinator starts a coordinator for n nodes on addr (use
@@ -145,35 +281,38 @@ func ListenCoordinator(addr string, f *core.Function, n int, cfg core.Config, op
 		return nil, err
 	}
 	c := &Coordinator{
-		ln:    ln,
-		f:     f,
-		n:     n,
-		cfg:   cfg,
-		opts:  opts,
-		conns: make([]*coordConn, n),
-		ready: make(chan struct{}),
+		ln:      ln,
+		f:       f,
+		n:       n,
+		cfg:     cfg,
+		opts:    opts,
+		conns:   make([]*coordConn, n),
+		pending: make(map[net.Conn]struct{}),
+		ready:   make(chan struct{}),
 		// Nodes keep at most one violation report outstanding, and the
 		// dispatcher coalesces the queue per node, so the buffer only needs
 		// to absorb short bursts; it keeps connection readers from ever
 		// blocking on the resolution lock (which would deadlock the
 		// data-request round-trips inside a resolution).
 		violCh: make(chan *core.Violation, 64*n),
+		deadCh: make(chan int, 4*n),
 		done:   make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	c.wg.Add(1)
-	go c.dispatchViolations()
+	go c.dispatch()
 	return c, nil
 }
 
-// dispatchViolations serializes violation handling; it is the only caller of
-// HandleViolation, so connection readers stay free to route data responses.
-// Queued violations are coalesced per node: while a resolution is running,
-// every sync it fans out can prompt still-out-of-zone nodes to re-report, so
-// only each node's freshest report is worth resolving — older ones carry
-// stale vectors and would only multiply work.
-func (c *Coordinator) dispatchViolations() {
+// dispatch serializes every mutation of the core coordinator: violation
+// resolutions and node-death full syncs both funnel through here, so
+// connection readers stay free to route data responses. Queued violations
+// are coalesced per node: while a resolution is running, every sync it fans
+// out can prompt still-out-of-zone nodes to re-report, so only each node's
+// freshest report is worth resolving — older ones carry stale vectors and
+// would only multiply work.
+func (c *Coordinator) dispatch() {
 	defer c.wg.Done()
 	pending := make(map[int]*core.Violation)
 	var order []int
@@ -185,6 +324,8 @@ func (c *Coordinator) dispatchViolations() {
 					order = append(order, v.NodeID)
 				}
 				pending[v.NodeID] = v
+			case id := <-c.deadCh:
+				c.handleDead(id)
 			default:
 				return
 			}
@@ -195,12 +336,18 @@ func (c *Coordinator) dispatchViolations() {
 			select {
 			case <-c.done:
 				return
+			case id := <-c.deadCh:
+				c.handleDead(id)
+				continue
 			case v := <-c.violCh:
 				pending[v.NodeID] = v
 				order = append(order, v.NodeID)
 			}
 		}
 		drain()
+		if len(order) == 0 {
+			continue
+		}
 		id := order[0]
 		order = order[1:]
 		v := pending[id]
@@ -212,10 +359,32 @@ func (c *Coordinator) dispatchViolations() {
 			err = coord.HandleViolation(v)
 		}
 		c.mu.Unlock()
-		if err != nil {
+		if err != nil && !errors.Is(err, core.ErrNoLiveNodes) {
 			c.fatal(err)
 			return
 		}
+	}
+}
+
+// handleDead folds a connection death into the core coordinator: the node is
+// marked dead and the survivors re-synced, so the estimate degrades to the
+// live-node average. If a newer connection already took the slot (a fast
+// rejoin raced the death report), the event is stale and ignored.
+func (c *Coordinator) handleDead(id int) {
+	c.connsMu.Lock()
+	cc := c.conns[id]
+	replaced := cc != nil && !cc.isGone()
+	c.connsMu.Unlock()
+	if replaced {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coord == nil || !c.coord.Live(id) {
+		return
+	}
+	if err := c.coord.HandleDeparture(id); err != nil && !errors.Is(err, core.ErrNoLiveNodes) {
+		c.fatal(err)
 	}
 }
 
@@ -225,7 +394,9 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // Ready is closed once all nodes registered and the initial sync finished.
 func (c *Coordinator) Ready() <-chan struct{} { return c.ready }
 
-// Err returns the first fatal error, if any.
+// Err returns the first fatal error, if any. Connection churn is not fatal;
+// only listener failures, hostile peers, and safe-zone construction errors
+// are.
 func (c *Coordinator) Err() error {
 	if e := c.err.Load(); e != nil {
 		return e.(error)
@@ -233,7 +404,8 @@ func (c *Coordinator) Err() error {
 	return nil
 }
 
-// Estimate returns the coordinator's current approximation f(x0).
+// Estimate returns the coordinator's current approximation of f over the
+// average of the live nodes (of all nodes, when none are dead).
 func (c *Coordinator) Estimate() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -241,6 +413,24 @@ func (c *Coordinator) Estimate() float64 {
 		return 0
 	}
 	return c.coord.Estimate()
+}
+
+// Degraded reports whether any node is currently considered dead: the
+// ε-guarantee then covers the live-node average only.
+func (c *Coordinator) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coord != nil && c.coord.Degraded()
+}
+
+// LiveNodes returns how many nodes are currently considered reachable.
+func (c *Coordinator) LiveNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coord == nil {
+		return 0
+	}
+	return c.coord.LiveCount()
 }
 
 // CoordStats snapshots the protocol statistics.
@@ -259,13 +449,16 @@ func (c *Coordinator) Close() {
 		return
 	}
 	c.ln.Close()
-	c.mu.Lock()
+	c.connsMu.Lock()
 	for _, cc := range c.conns {
 		if cc != nil {
 			cc.conn.Close()
 		}
 	}
-	c.mu.Unlock()
+	for conn := range c.pending {
+		conn.Close()
+	}
+	c.connsMu.Unlock()
 	close(c.done)
 	c.wg.Wait()
 }
@@ -278,8 +471,7 @@ func (c *Coordinator) fatal(err error) {
 
 func (c *Coordinator) acceptLoop() {
 	defer c.wg.Done()
-	registered := 0
-	for registered < c.n {
+	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
 			if !c.closed.Load() {
@@ -287,108 +479,230 @@ func (c *Coordinator) acceptLoop() {
 			}
 			return
 		}
-		// Registration: the node's first message is a DataResponse with its
-		// id and initial local vector.
-		m, err := readFrame(conn, &c.Stats)
-		if err != nil {
-			c.fatal(fmt.Errorf("transport: registration read: %w", err))
-			conn.Close()
-			continue
-		}
-		reg, ok := m.(*core.DataResponse)
-		if !ok || reg.NodeID < 0 || reg.NodeID >= c.n {
-			c.fatal(errors.New("transport: bad registration message"))
-			conn.Close()
-			continue
-		}
-		cc := &coordConn{conn: conn, dataCh: make(chan *core.DataResponse, 1)}
-		c.mu.Lock()
-		c.conns[reg.NodeID] = cc
-		c.mu.Unlock()
-		// Serve the connection immediately so Init's data requests can be
-		// answered. Violations are serialized through c.mu; data responses
-		// are routed to the in-flight request.
+		c.connsMu.Lock()
+		c.pending[conn] = struct{}{}
+		c.connsMu.Unlock()
 		c.wg.Add(1)
-		go c.serveConn(reg.NodeID, cc)
-		registered++
+		go c.handleNewConn(conn)
 	}
-
-	// All nodes registered: build the coordinator over the socket comm and
-	// run the initial full sync.
-	c.mu.Lock()
-	c.coord = core.NewCoordinator(c.f, c.n, c.cfg, &socketComm{c: c})
-	err := c.coord.Init()
-	c.mu.Unlock()
-	if err != nil {
-		c.fatal(err)
-		return
-	}
-	close(c.ready)
 }
 
-func (c *Coordinator) serveConn(nodeID int, cc *coordConn) {
+// handleNewConn reads the first frame of a fresh connection: a DataResponse
+// registers a node for the first time, a Rejoin re-registers one after a
+// connection loss. I/O errors here are survivable churn (the node will
+// retry); a peer that delivers a *well-formed but wrong* registration, or
+// frames that cannot be parsed at all, is hostile and fatal.
+func (c *Coordinator) handleNewConn(conn net.Conn) {
 	defer c.wg.Done()
+	m, err := readFrame(conn, c.opts.RegisterTimeout, &c.Stats)
+	c.connsMu.Lock()
+	delete(c.pending, conn)
+	c.connsMu.Unlock()
+	if err != nil {
+		conn.Close()
+		if !c.closed.Load() && isProtocolError(err) {
+			c.fatal(fmt.Errorf("transport: registration read: %w", err))
+		}
+		return
+	}
+	var id int
+	var x []float64
+	switch reg := m.(type) {
+	case *core.DataResponse:
+		id, x = reg.NodeID, reg.X
+	case *core.Rejoin:
+		id, x = reg.NodeID, reg.X
+	default:
+		conn.Close()
+		c.fatal(fmt.Errorf("transport: bad registration message %v", m.Type()))
+		return
+	}
+	if id < 0 || id >= c.n {
+		conn.Close()
+		c.fatal(errors.New("transport: bad registration message"))
+		return
+	}
+	c.register(id, conn, x)
+}
+
+// register installs a connection for node id, kicks off the initial sync
+// when it completes the roster, and reintegrates rejoining nodes with a full
+// sync.
+func (c *Coordinator) register(id int, conn net.Conn, x []float64) {
+	cc := &coordConn{id: id, conn: conn, dataCh: make(chan *core.DataResponse, 4), gone: make(chan struct{})}
+	c.connsMu.Lock()
+	old := c.conns[id]
+	c.conns[id] = cc
+	startInit := false
+	if old == nil {
+		c.registered++
+		if c.registered == c.n && !c.initStarted {
+			c.initStarted = true
+			startInit = true
+		}
+	}
+	c.connsMu.Unlock()
+	if old != nil {
+		old.conn.Close() // retire the stale reader; its death event is ignored
+	}
+	// Serve the connection immediately so data requests can be answered.
+	c.wg.Add(1)
+	go c.serveConn(cc)
+
+	if startInit {
+		// All nodes registered: build the coordinator over the socket comm
+		// and run the initial full sync.
+		c.mu.Lock()
+		c.coord = core.NewCoordinator(c.f, c.n, c.cfg, &socketComm{c: c})
+		err := c.coord.Init()
+		c.mu.Unlock()
+		if err != nil && !errors.Is(err, core.ErrNoLiveNodes) {
+			c.fatal(err)
+			return
+		}
+		close(c.ready)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coord == nil {
+		return // pre-init replacement; Init will pull from the new conn
+	}
+	if err := c.coord.HandleRejoin(id, x); err != nil && !errors.Is(err, core.ErrNoLiveNodes) {
+		c.fatal(err)
+	}
+}
+
+func (c *Coordinator) serveConn(cc *coordConn) {
+	defer c.wg.Done()
+	defer cc.markGone()
 	for {
-		m, err := readFrame(cc.conn, &c.Stats)
+		m, err := readFrame(cc.conn, 0, &c.Stats)
 		if err != nil {
-			if !c.closed.Load() {
-				c.fatal(fmt.Errorf("transport: node %d read: %w", nodeID, err))
+			cc.conn.Close()
+			cc.markGone()
+			if c.closed.Load() {
+				return
+			}
+			c.connsMu.Lock()
+			current := c.conns[cc.id] == cc
+			c.connsMu.Unlock()
+			if current {
+				select {
+				case c.deadCh <- cc.id:
+				case <-c.done:
+				}
 			}
 			return
 		}
 		switch msg := m.(type) {
 		case *core.DataResponse:
-			cc.dataCh <- msg
+			// Never block the reader; duplicates beyond the buffer are
+			// dropped (RequestData drains stale entries before each request).
+			select {
+			case cc.dataCh <- msg:
+			default:
+			}
 		case *core.Violation:
+			// A full queue means a resolution storm is already in progress;
+			// its fan-out will make this node re-check and re-report, so the
+			// report is safe to shed.
 			select {
 			case c.violCh <- msg:
 			default:
-				c.fatal(fmt.Errorf("transport: violation queue overflow from node %d", nodeID))
-				return
 			}
+		case *core.Rejoin:
+			// A duplicated registration frame (the rejoin that opened this
+			// connection, delivered twice by a faulty link); already handled.
 		default:
-			c.fatal(fmt.Errorf("transport: unexpected %v from node %d", m.Type(), nodeID))
-			return
+			// Anything else means the stream is corrupt; recycle the
+			// connection and let the node rejoin.
+			cc.conn.Close()
 		}
 	}
 }
 
 // socketComm implements core.NodeComm over the registered connections. It is
-// only invoked while c.mu is held (Init and HandleViolation), so the
-// request/response pairing is race-free.
+// only invoked while c.mu is held (Init, HandleViolation, HandleDeparture,
+// HandleRejoin), so the request/response pairing is race-free and calling
+// MarkDead on the core coordinator is safe.
 type socketComm struct {
 	c *Coordinator
 }
 
-func (s *socketComm) RequestData(id int) []float64 {
-	// Requests are strictly sequenced (the caller holds c.mu), so the next
-	// DataResponse on this connection is the reply to this request.
+// lookup fetches the current connection for a node, or nil if it is gone.
+func (s *socketComm) lookup(id int) *coordConn {
+	s.c.connsMu.Lock()
 	cc := s.c.conns[id]
-	if err := writeFrame(cc.conn, &core.DataRequest{NodeID: id}, s.c.opts.Latency, &s.c.Stats, &cc.writeMu); err != nil {
-		s.c.fatal(err)
-		return make([]float64, s.c.f.Dim())
+	s.c.connsMu.Unlock()
+	if cc == nil || cc.isGone() {
+		return nil
+	}
+	return cc
+}
+
+// noteDead records a mid-resolution node loss. Caller holds c.mu.
+func (s *socketComm) noteDead(id int) {
+	if s.c.coord != nil {
+		s.c.coord.MarkDead(id)
+	}
+}
+
+func (s *socketComm) RequestData(id int) []float64 {
+	cc := s.lookup(id)
+	if cc == nil {
+		s.noteDead(id)
+		return nil
+	}
+	// Requests are strictly sequenced (the caller holds c.mu); drain any
+	// stale or duplicated response so the next arrival answers this request.
+	for {
+		select {
+		case <-cc.dataCh:
+			continue
+		default:
+		}
+		break
+	}
+	if err := writeFrame(cc.conn, &core.DataRequest{NodeID: id}, s.c.opts.Latency, s.c.opts.WriteTimeout, &s.c.Stats, &cc.writeMu); err != nil {
+		cc.conn.Close()
+		s.noteDead(id)
+		return nil
 	}
 	select {
 	case resp := <-cc.dataCh:
 		return resp.X
+	case <-cc.gone:
+		s.noteDead(id)
+		return nil
 	case <-s.c.done:
-		return make([]float64, s.c.f.Dim())
-	case <-time.After(30 * time.Second):
-		s.c.fatal(fmt.Errorf("transport: node %d data request timed out", id))
-		return make([]float64, s.c.f.Dim())
+		return nil
+	case <-time.After(s.c.opts.RequestTimeout):
+		// A node that cannot answer a data request is useless even if its
+		// TCP connection looks healthy: recycle the connection so the node
+		// notices, reconnects, and rejoins with fresh state.
+		cc.conn.Close()
+		s.noteDead(id)
+		return nil
 	}
 }
 
 func (s *socketComm) SendSync(id int, m *core.Sync) {
-	cc := s.c.conns[id]
-	if err := writeFrame(cc.conn, m, s.c.opts.Latency, &s.c.Stats, &cc.writeMu); err != nil {
-		s.c.fatal(err)
-	}
+	s.send(id, m)
 }
 
 func (s *socketComm) SendSlack(id int, m *core.Slack) {
-	cc := s.c.conns[id]
-	if err := writeFrame(cc.conn, m, s.c.opts.Latency, &s.c.Stats, &cc.writeMu); err != nil {
-		s.c.fatal(err)
+	s.send(id, m)
+}
+
+func (s *socketComm) send(id int, m core.Message) {
+	cc := s.lookup(id)
+	if cc == nil {
+		s.noteDead(id)
+		return
+	}
+	if err := writeFrame(cc.conn, m, s.c.opts.Latency, s.c.opts.WriteTimeout, &s.c.Stats, &cc.writeMu); err != nil {
+		cc.conn.Close()
+		s.noteDead(id)
 	}
 }
