@@ -24,9 +24,13 @@ func main() {
 	full := flag.Bool("full", false, "use full-size parameters (slow) instead of the quick defaults")
 	seed := flag.Int64("seed", 1, "master seed for data generation and optimizers")
 	latency := flag.Duration("latency", 0, "injected one-way latency for the figure-10 WAN runs (e.g. 28ms)")
+	telemetry := flag.String("telemetry", "", "write per-run metric snapshots as JSON to this file")
 	flag.Parse()
 
 	o := experiments.Options{Quick: !*full, Seed: *seed}
+	if *telemetry != "" {
+		o.Telemetry = &experiments.Telemetry{}
+	}
 
 	type gen struct {
 		name string
@@ -67,5 +71,18 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "automon-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+	if o.Telemetry != nil {
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "automon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := o.Telemetry.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "automon-bench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# telemetry: %d run snapshots -> %s\n", len(o.Telemetry.Runs()), *telemetry)
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"automon/internal/core"
 	"automon/internal/experiments"
+	"automon/internal/obs"
 	"automon/internal/transport"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	full := flag.Bool("full", false, "full-size parameters")
 	latency := flag.Duration("latency", 0, "injected one-way latency per message")
 	report := flag.Duration("report", 2*time.Second, "estimate reporting interval")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics, /debug/vars, /debug/events, and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	o := experiments.Options{Quick: !*full, Seed: *seed}
@@ -39,7 +41,19 @@ func main() {
 		cfg.R = w.FixedR
 	}
 
-	coord, err := transport.ListenCoordinator(*addr, w.F, *nodes, cfg, transport.Options{Latency: *latency})
+	opts := transport.Options{Latency: *latency}
+	if *obsAddr != "" {
+		opts.Metrics = obs.NewRegistry()
+		opts.Tracer = obs.NewTracer(1024)
+		srv, err := obs.Serve(*obsAddr, opts.Metrics, opts.Tracer)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("automon-coordinator: observability on http://%s/metrics\n", srv.Addr)
+	}
+
+	coord, err := transport.ListenCoordinator(*addr, w.F, *nodes, cfg, opts)
 	if err != nil {
 		fail(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"automon/internal/experiments"
+	"automon/internal/obs"
 	"automon/internal/transport"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	interval := flag.Duration("interval", 0, "delay between data updates (0 = as fast as possible)")
 	reconnects := flag.Int("reconnect-attempts", 6, "reconnect attempts per connection loss (-1 disables reconnection)")
 	reconnectBase := flag.Duration("reconnect-base", 50*time.Millisecond, "initial reconnect backoff (doubles per attempt, jittered)")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics, /debug/vars, /debug/events, and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	o := experiments.Options{Quick: !*full, Seed: *seed}
@@ -46,6 +48,16 @@ func main() {
 		Latency:              *latency,
 		MaxReconnectAttempts: *reconnects,
 		ReconnectBase:        *reconnectBase,
+	}
+	if *obsAddr != "" {
+		opts.Metrics = obs.NewRegistry()
+		opts.Tracer = obs.NewTracer(1024)
+		srv, err := obs.Serve(*obsAddr, opts.Metrics, opts.Tracer)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("automon-node %d: observability on http://%s/metrics\n", *id, srv.Addr)
 	}
 	node, err := transport.DialNode(*addr, *id, w.F, window.Vector(), opts)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"automon/internal/core"
 	"automon/internal/experiments"
 	"automon/internal/linalg"
+	"automon/internal/obs"
 	"automon/internal/stream"
 	"automon/internal/transport"
 	"automon/internal/transport/chaos"
@@ -31,14 +32,32 @@ func main() {
 	rounds := flag.Int("rounds", 350, "data rounds to stream per node")
 	latency := flag.Duration("latency", 28*time.Millisecond, "injected one-way latency")
 	chaosSeed := flag.Int64("chaos-seed", 0, "when non-zero, inject connection faults from this seed")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address, e.g. 127.0.0.1:7800 (empty = disabled); scrape /metrics mid-run")
 	flag.Parse()
 
 	o := experiments.Options{Quick: true, Seed: 5}
 	w := experiments.InnerProductWorkload(o, 40, 10)
 	ds := w.Data
 	const eps = 0.2
+	if *rounds > ds.Rounds {
+		fmt.Printf("clamping -rounds %d to the dataset's %d monitored rounds\n", *rounds, ds.Rounds)
+		*rounds = ds.Rounds
+	}
 
 	opts := transport.Options{Latency: *latency}
+	if *obsAddr != "" {
+		// One registry and tracer cover the whole in-process deployment: the
+		// coordinator side and all ten node clients register under distinct
+		// label sets, so a single /metrics scrape shows the full cluster.
+		opts.Metrics = obs.NewRegistry()
+		opts.Tracer = obs.NewTracer(4096)
+		srv, err := obs.Serve(*obsAddr, opts.Metrics, opts.Tracer)
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: curl http://%s/metrics (also /debug/vars, /debug/events, /debug/pprof)\n", srv.Addr)
+	}
 	var dialer *chaos.Dialer
 	if *chaosSeed != 0 {
 		dialer = chaos.NewDialer(chaos.Config{

@@ -6,7 +6,16 @@ import (
 	"math"
 
 	"automon/internal/linalg"
+	"automon/internal/obs"
 )
+
+// DefaultThresholdFloor is the absolute floor applied to the half-width of a
+// Multiplicative threshold interval when Config.ThresholdFloor is zero. It
+// guards the f(x0) ≈ 0 degeneracy: purely multiplicative bounds collapse to
+// a zero-width interval there, and every subsequent update becomes a
+// violation (a sync storm). The default is small enough not to perturb any
+// realistically scaled threshold.
+const DefaultThresholdFloor = 1e-9
 
 // ErrNoLiveNodes is returned by sync operations when every node is marked
 // dead. It is a degraded-but-recoverable state, not a fatal one: the
@@ -55,6 +64,20 @@ type Config struct {
 	// zone (used to plug GM baselines such as Convex Bound into the same
 	// protocol). Such zones are delivered to nodes in-memory.
 	ZoneBuilder func(f *Function, x0 []float64, l, u float64) *SafeZone
+	// ThresholdFloor is the minimum half-width of the (L, U) interval under
+	// Multiplicative error: when ε·|f(x0)| falls below it, thresholds become
+	// f(x0) ∓ ThresholdFloor instead of collapsing to a point. 0 means
+	// DefaultThresholdFloor; negative disables the guard entirely.
+	ThresholdFloor float64
+	// Metrics, when set, registers the coordinator's protocol counters in
+	// this registry so they are scraped by the obs HTTP endpoints. When nil
+	// the coordinator keeps private (unregistered) counters; Stats() reads
+	// the same instruments either way, so the two views cannot diverge.
+	Metrics *obs.Registry
+	// Tracer, when set, records structured protocol events (violations,
+	// syncs, r-doublings, deaths, rejoins). Nil disables tracing at the cost
+	// of a single nil check per event.
+	Tracer *obs.Tracer
 }
 
 // NodeComm abstracts the coordinator→node side of the messaging fabric. The
@@ -70,7 +93,11 @@ type NodeComm interface {
 	SendSlack(nodeID int, m *Slack)
 }
 
-// CoordStats aggregates protocol events on the coordinator.
+// CoordStats is a point-in-time snapshot of the coordinator's protocol
+// counters, as returned by Coordinator.Stats. The counters themselves live
+// in the obs registry (see coordObs); this struct is purely a view, so the
+// values tests assert on and the values a /metrics scrape reports come from
+// the same instruments.
 type CoordStats struct {
 	FullSyncs              int
 	LazyAttempts           int
@@ -81,6 +108,52 @@ type CoordStats struct {
 	RDoublings             int
 	NodeDeaths             int
 	Rejoins                int
+}
+
+// coordObs bundles the coordinator's observability instruments. Counters are
+// always real (they back CoordStats); the tracer may be nil (no-op).
+type coordObs struct {
+	fullSyncs    *obs.Counter
+	lazyAttempts *obs.Counter
+	lazyResolved *obs.Counter
+	neighViol    *obs.Counter
+	szViol       *obs.Counter
+	faultyViol   *obs.Counter
+	rDoublings   *obs.Counter
+	nodeDeaths   *obs.Counter
+	rejoins      *obs.Counter
+
+	liveNodes *obs.Gauge
+	radius    *obs.Gauge
+	estimate  *obs.Gauge
+	lazySet   *obs.Histogram
+
+	tracer *obs.Tracer
+}
+
+// newCoordObs creates the instruments, registered in reg when non-nil. With
+// a nil registry the counters are standalone: same cost, just unscraped.
+func newCoordObs(reg *obs.Registry, tracer *obs.Tracer) coordObs {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	const violHelp = "protocol violations handled by the coordinator, by kind"
+	return coordObs{
+		fullSyncs:    reg.Counter("automon_coordinator_full_syncs_total", "full synchronizations performed"),
+		lazyAttempts: reg.Counter("automon_coordinator_lazy_sync_attempts_total", "lazy-sync balancing attempts"),
+		lazyResolved: reg.Counter("automon_coordinator_lazy_syncs_resolved_total", "safe-zone violations resolved without a full sync"),
+		neighViol:    reg.Counter(`automon_coordinator_violations_total{kind="neighborhood"}`, violHelp),
+		szViol:       reg.Counter(`automon_coordinator_violations_total{kind="safe_zone"}`, violHelp),
+		faultyViol:   reg.Counter(`automon_coordinator_violations_total{kind="faulty"}`, violHelp),
+		rDoublings:   reg.Counter("automon_coordinator_r_doublings_total", "§3.6 neighborhood-size doublings"),
+		nodeDeaths:   reg.Counter("automon_coordinator_node_deaths_total", "nodes marked dead by the fabric"),
+		rejoins:      reg.Counter("automon_coordinator_rejoins_total", "nodes re-admitted after a death"),
+		liveNodes:    reg.Gauge("automon_coordinator_live_nodes", "nodes currently considered reachable"),
+		radius:       reg.Gauge("automon_coordinator_neighborhood_radius", "current ADCD-X neighborhood size r"),
+		estimate:     reg.Gauge("automon_coordinator_estimate", "current approximation of f over the live-node average"),
+		lazySet:      reg.Histogram("automon_coordinator_balancing_set_size", "nodes pulled into each resolved lazy sync", []float64{1, 2, 4, 8, 16, 32, 64}),
+		tracer:       tracer,
+	}
 }
 
 // Coordinator is the AutoMon coordinator algorithm (Algorithm 1, lines 1–8)
@@ -114,7 +187,23 @@ type Coordinator struct {
 	live      []bool
 	liveCount int
 
-	Stats CoordStats
+	obs coordObs
+}
+
+// Stats snapshots the protocol counters. The snapshot is a view over the
+// same obs instruments the /metrics endpoint scrapes.
+func (c *Coordinator) Stats() CoordStats {
+	return CoordStats{
+		FullSyncs:              int(c.obs.fullSyncs.Load()),
+		LazyAttempts:           int(c.obs.lazyAttempts.Load()),
+		LazyResolved:           int(c.obs.lazyResolved.Load()),
+		NeighborhoodViolations: int(c.obs.neighViol.Load()),
+		SafeZoneViolations:     int(c.obs.szViol.Load()),
+		FaultyViolations:       int(c.obs.faultyViol.Load()),
+		RDoublings:             int(c.obs.rDoublings.Load()),
+		NodeDeaths:             int(c.obs.nodeDeaths.Load()),
+		Rejoins:                int(c.obs.rejoins.Load()),
+	}
 }
 
 // NewCoordinator creates a coordinator for n nodes over function f. The
@@ -134,7 +223,10 @@ func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator 
 		Cfg:  cfg,
 		comm: comm,
 		r:    cfg.R,
+		obs:  newCoordObs(cfg.Metrics, cfg.Tracer),
 	}
+	c.obs.liveNodes.Set(float64(n))
+	c.obs.radius.Set(cfg.R)
 	c.lastX = make([][]float64, n)
 	c.slacks = make([][]float64, n)
 	c.matrixSent = make([]bool, n)
@@ -198,7 +290,9 @@ func (c *Coordinator) MarkDead(id int) {
 	c.live[id] = false
 	c.liveCount--
 	c.matrixSent[id] = false
-	c.Stats.NodeDeaths++
+	c.obs.nodeDeaths.Inc()
+	c.obs.liveNodes.Set(float64(c.liveCount))
+	c.obs.tracer.Record(obs.EventNodeDeath, id, float64(c.liveCount), "")
 }
 
 // MarkLive reverses MarkDead.
@@ -208,6 +302,7 @@ func (c *Coordinator) MarkLive(id int) {
 	}
 	c.live[id] = true
 	c.liveCount++
+	c.obs.liveNodes.Set(float64(c.liveCount))
 }
 
 // HandleDeparture marks a node dead and re-synchronizes the survivors so the
@@ -231,7 +326,8 @@ func (c *Coordinator) HandleRejoin(id int, x []float64) error {
 		return fmt.Errorf("core: rejoin from unknown node %d", id)
 	}
 	c.MarkLive(id)
-	c.Stats.Rejoins++
+	c.obs.rejoins.Inc()
+	c.obs.tracer.Record(obs.EventRejoin, id, float64(c.liveCount), "")
 	c.matrixSent[id] = false
 	if x != nil {
 		copy(c.lastX[id], x)
@@ -276,27 +372,39 @@ func (c *Coordinator) HandleViolation(v *Violation) error {
 	// sync restores the Σᵢ sᵢ = 0 invariant across the live set.
 	if !c.live[v.NodeID] {
 		c.MarkLive(v.NodeID)
-		c.Stats.Rejoins++
+		c.obs.rejoins.Inc()
+		c.obs.tracer.Record(obs.EventRejoin, v.NodeID, float64(c.liveCount), "")
 		c.matrixSent[v.NodeID] = false
 		return c.fullSync(fresh)
 	}
 
 	switch v.Kind {
 	case ViolationNeighborhood:
-		c.Stats.NeighborhoodViolations++
-		c.consecNeigh++
-		if c.consecNeigh >= c.Cfg.RDoubleAfter {
+		c.obs.neighViol.Inc()
+		c.obs.tracer.Record(obs.EventViolation, v.NodeID, 0, "neighborhood")
+		// The §3.6 streak counts *consecutive* neighborhood violations; every
+		// full sync from another cause (including the one below when it is
+		// not neighborhood-triggered) resets it inside fullSync, so restore
+		// the running streak after the sync this violation forces.
+		streak := c.consecNeigh + 1
+		if streak >= c.Cfg.RDoubleAfter {
 			// §3.6 fallback: tuning data became unrepresentative; widen B.
 			c.r *= 2
-			c.consecNeigh = 0
-			c.Stats.RDoublings++
+			streak = 0
+			c.obs.rDoublings.Inc()
+			c.obs.radius.Set(c.r)
+			c.obs.tracer.Record(obs.EventRDouble, v.NodeID, c.r, "")
 		}
-		return c.fullSync(fresh)
+		err := c.fullSync(fresh)
+		c.consecNeigh = streak
+		return err
 	case ViolationFaulty:
-		c.Stats.FaultyViolations++
+		c.obs.faultyViol.Inc()
+		c.obs.tracer.Record(obs.EventViolation, v.NodeID, 0, "faulty")
 		return c.fullSync(fresh)
 	case ViolationSafeZone:
-		c.Stats.SafeZoneViolations++
+		c.obs.szViol.Inc()
+		c.obs.tracer.Record(obs.EventViolation, v.NodeID, 0, "safe_zone")
 		c.consecNeigh = 0
 		if c.Cfg.DisableLazySync {
 			return c.fullSync(fresh)
@@ -316,7 +424,7 @@ func (c *Coordinator) HandleViolation(v *Violation) error {
 // nodes were pulled without resolution; the caller then falls back to a full
 // sync (which reuses the vectors pulled here via fresh).
 func (c *Coordinator) lazySync(v *Violation, fresh map[int]bool) bool {
-	c.Stats.LazyAttempts++
+	c.obs.lazyAttempts.Inc()
 	d := c.F.Dim()
 	set := []int{v.NodeID}
 	c.touchLRU(v.NodeID)
@@ -360,7 +468,9 @@ func (c *Coordinator) lazySync(v *Violation, fresh map[int]bool) bool {
 		linalg.Sub(c.slacks[j], mean, c.lastX[j])
 		c.comm.SendSlack(j, &Slack{NodeID: j, Slack: linalg.Clone(c.slacks[j])})
 	}
-	c.Stats.LazyResolved++
+	c.obs.lazyResolved.Inc()
+	c.obs.lazySet.Observe(float64(len(set)))
+	c.obs.tracer.Record(obs.EventLazySync, v.NodeID, float64(len(set)), "")
 	return true
 }
 
@@ -396,11 +506,23 @@ func (c *Coordinator) touchLRU(id int) {
 }
 
 // Thresholds derives (L, U) from f(x0) under the configured error type.
+// Under Multiplicative error the interval width is ε·|f(x0)|, which
+// collapses to zero as f(x0) → 0 and turns every subsequent update into a
+// violation; a configurable absolute floor (Config.ThresholdFloor) keeps the
+// interval usable through zero crossings.
 func (c *Coordinator) Thresholds(f0 float64) (l, u float64) {
 	if c.Cfg.ErrorType == Multiplicative {
 		a := (1 - c.Cfg.Epsilon) * f0
 		b := (1 + c.Cfg.Epsilon) * f0
-		return math.Min(a, b), math.Max(a, b)
+		l, u = math.Min(a, b), math.Max(a, b)
+		floor := c.Cfg.ThresholdFloor
+		if floor == 0 {
+			floor = DefaultThresholdFloor
+		}
+		if floor > 0 && u-l < 2*floor {
+			l, u = f0-floor, f0+floor
+		}
+		return l, u
 	}
 	return f0 - c.Cfg.Epsilon, f0 + c.Cfg.Epsilon
 }
@@ -410,8 +532,15 @@ func (c *Coordinator) Thresholds(f0 float64) (l, u float64) {
 // live set, thresholds, the DC decomposition and safe zone, reset slack, and
 // sync every live node. Dead nodes keep their last vector but contribute
 // nothing: the estimate degrades to the live-node average.
+//
+// Every full sync also ends any running streak of consecutive neighborhood
+// violations: the nodes receive fresh zones around a fresh reference point,
+// so earlier neighborhood violations say nothing about the new neighborhood.
+// HandleViolation's neighborhood branch restores the streak afterwards —
+// only there is the violation itself part of the streak (§3.6).
 func (c *Coordinator) fullSync(fresh map[int]bool) error {
-	c.Stats.FullSyncs++
+	c.obs.fullSyncs.Inc()
+	c.consecNeigh = 0
 	d := c.F.Dim()
 	for i := 0; i < c.N; i++ {
 		if fresh[i] || !c.live[i] {
@@ -468,6 +597,8 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 		}
 	}
 	c.zone = zone
+	c.obs.estimate.Set(zone.F0)
+	c.obs.tracer.Record(obs.EventFullSync, -1, float64(c.liveCount), zone.Method.String())
 
 	for i := 0; i < c.N; i++ {
 		if !c.live[i] {

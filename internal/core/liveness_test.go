@@ -132,8 +132,8 @@ func TestDepartureDegradesEstimateToLiveAverage(t *testing.T) {
 		t.Fatalf("degraded estimate %v, want live-node value %v", got, want)
 	}
 	slackSumOverLive(t, coord)
-	if coord.Stats.NodeDeaths != 1 {
-		t.Fatalf("NodeDeaths = %d, want 1", coord.Stats.NodeDeaths)
+	if coord.Stats().NodeDeaths != 1 {
+		t.Fatalf("NodeDeaths = %d, want 1", coord.Stats().NodeDeaths)
 	}
 	// The dead node must hold no slack in the coordinator's book-keeping.
 	for j, v := range coord.slacks[2] {
@@ -167,8 +167,8 @@ func TestRejoinRestoresFullPopulation(t *testing.T) {
 		t.Fatalf("restored estimate %v, want %v", got, want)
 	}
 	slackSumOverLive(t, coord)
-	if coord.Stats.Rejoins != 1 {
-		t.Fatalf("Rejoins = %d, want 1", coord.Stats.Rejoins)
+	if coord.Stats().Rejoins != 1 {
+		t.Fatalf("Rejoins = %d, want 1", coord.Stats().Rejoins)
 	}
 }
 
@@ -184,7 +184,7 @@ func TestViolationFromDeadNodeRevivesIt(t *testing.T) {
 	// it through a full sync.
 	comm.failed[1] = false
 	nodes[1].SetData([]float64{3, 3})
-	syncsBefore := coord.Stats.FullSyncs
+	syncsBefore := coord.Stats().FullSyncs
 	err := coord.HandleViolation(&Violation{NodeID: 1, Kind: ViolationSafeZone, X: []float64{3, 3}})
 	if err != nil {
 		t.Fatal(err)
@@ -192,11 +192,11 @@ func TestViolationFromDeadNodeRevivesIt(t *testing.T) {
 	if !coord.Live(1) || coord.Degraded() {
 		t.Fatal("violation from a dead node must revive it")
 	}
-	if coord.Stats.FullSyncs != syncsBefore+1 {
+	if coord.Stats().FullSyncs != syncsBefore+1 {
 		t.Fatal("revival must resolve through a full sync (slack invariant)")
 	}
-	if coord.Stats.Rejoins != 1 {
-		t.Fatalf("Rejoins = %d, want 1", coord.Stats.Rejoins)
+	if coord.Stats().Rejoins != 1 {
+		t.Fatalf("Rejoins = %d, want 1", coord.Stats().Rejoins)
 	}
 	slackSumOverLive(t, coord)
 }

@@ -110,8 +110,8 @@ func TestProtocolGuaranteesErrorBoundConstantHessian(t *testing.T) {
 	if maxErr > 0.1+1e-9 {
 		t.Fatalf("ADCD-E error bound violated: max error %v > ε 0.1", maxErr)
 	}
-	if coord.Stats.FaultyViolations != 0 {
-		t.Fatalf("faulty violations reported for exact decomposition: %d", coord.Stats.FaultyViolations)
+	if coord.Stats().FaultyViolations != 0 {
+		t.Fatalf("faulty violations reported for exact decomposition: %d", coord.Stats().FaultyViolations)
 	}
 }
 
@@ -165,11 +165,11 @@ func TestLazySyncResolvesOppositeDrift(t *testing.T) {
 		}
 	}
 	_, coord, comm := runProtocol(t, f, data, Config{Epsilon: 0.3})
-	if coord.Stats.LazyResolved == 0 {
+	if coord.Stats().LazyResolved == 0 {
 		t.Fatal("expected at least one lazy-sync resolution")
 	}
-	if coord.Stats.FullSyncs > 3 {
-		t.Fatalf("too many full syncs (%d) for balanced drift", coord.Stats.FullSyncs)
+	if coord.Stats().FullSyncs > 3 {
+		t.Fatalf("too many full syncs (%d) for balanced drift", coord.Stats().FullSyncs)
 	}
 	_ = n
 	_ = comm
@@ -283,12 +283,12 @@ func TestFaultyViolationTriggersFullSync(t *testing.T) {
 	if err := coord.Init(); err != nil {
 		t.Fatal(err)
 	}
-	before := coord.Stats.FullSyncs
+	before := coord.Stats().FullSyncs
 	err := coord.HandleViolation(&Violation{NodeID: 1, Kind: ViolationFaulty, X: []float64{0.1, 0.1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if coord.Stats.FullSyncs != before+1 {
+	if coord.Stats().FullSyncs != before+1 {
 		t.Fatal("faulty violation must force a full sync")
 	}
 }
@@ -316,8 +316,8 @@ func TestRDoublingHeuristic(t *testing.T) {
 	if coord.R() != 2*r0 {
 		t.Fatalf("r = %v after 3 consecutive neighborhood violations, want %v", coord.R(), 2*r0)
 	}
-	if coord.Stats.RDoublings != 1 {
-		t.Fatalf("RDoublings = %d, want 1", coord.Stats.RDoublings)
+	if coord.Stats().RDoublings != 1 {
+		t.Fatalf("RDoublings = %d, want 1", coord.Stats().RDoublings)
 	}
 	// A safe-zone violation must reset the streak.
 	err := coord.HandleViolation(&Violation{NodeID: 0, Kind: ViolationSafeZone, X: []float64{0.01, 0}})

@@ -74,36 +74,79 @@ func Replay(f *Function, data TuningData, n int, cfg Config) (ReplayCounts, erro
 			}
 		}
 	}
+	stats := coord.Stats()
 	return ReplayCounts{
-		Neighborhood: coord.Stats.NeighborhoodViolations,
-		SafeZone:     coord.Stats.SafeZoneViolations,
-		Faulty:       coord.Stats.FaultyViolations,
+		Neighborhood: stats.NeighborhoodViolations,
+		SafeZone:     stats.SafeZoneViolations,
+		Faulty:       stats.FaultyViolations,
 	}, nil
 }
+
+// ErrBracketNotConverged is returned by Tune when neither end of the
+// bracketing range reached its zero-violation goal within the halving
+// budget: lo still sees safe-zone violations and hi still sees neighborhood
+// violations. The TuneResult is still populated (with the best grid point
+// over the degenerate bracket), so callers may inspect it, but a radius
+// picked from such a bracket carries no Algorithm-2 quality argument.
+var ErrBracketNotConverged = errors.New("core: tuning bracket did not converge at either end")
 
 // TuneResult reports the outcome of the neighborhood-size tuning procedure.
 type TuneResult struct {
 	R          float64        // recommended neighborhood size r̂
 	Lo, Hi     float64        // bracketing range searched
 	Counts     ReplayCounts   // violations at the chosen r
-	Replays    int            // number of monitoring replays performed
+	Replays    int            // number of monitoring replays performed (memoized reruns excluded)
 	GridCounts []ReplayCounts // violation counts on the final grid
 	GridR      []float64      // the grid itself
+
+	// LoConverged reports whether lo eliminated safe-zone violations, and
+	// HiConverged whether hi eliminated neighborhood violations, within the
+	// halving budget. When both are false Tune also returns
+	// ErrBracketNotConverged; when only one is false the bracket is usable
+	// but one-sided, and the caller may want a larger tuning prefix.
+	LoConverged bool
+	HiConverged bool
 }
 
 // Tune implements Algorithm 2 (Neighborhood Size Tuning): bracket a range
 // [lo, hi] where lo is small enough to eliminate safe-zone violations and hi
 // large enough to eliminate neighborhood violations, then grid-search ten
 // sizes in between for the fewest total violations. cfg.R is ignored.
+//
+// Replays are memoized on r: the bracket endpoints are re-visited by the
+// grid (and phase 2 starts from phase 1's last b), so without memoization
+// the same monitoring replay — by far the dominant cost — would run up to
+// three times for the same radius.
 func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
+	if err := data.Validate(f, n); err != nil {
+		return TuneResult{}, err
+	}
+	replay := func(r float64) (ReplayCounts, error) {
+		c := cfg
+		c.R = r
+		return Replay(f, data, n, c)
+	}
+	return tuneWith(replay)
+}
+
+// tuneWith is Tune's search logic over an abstract replay primitive; tests
+// drive it with synthetic violation profiles.
+func tuneWith(replay func(r float64) (ReplayCounts, error)) (TuneResult, error) {
 	const maxHalvings = 20
 	res := TuneResult{}
 
+	memo := make(map[float64]ReplayCounts)
 	run := func(r float64) (ReplayCounts, error) {
-		c := cfg
-		c.R = r
+		if counts, ok := memo[r]; ok {
+			return counts, nil
+		}
+		counts, err := replay(r)
+		if err != nil {
+			return counts, err
+		}
 		res.Replays++
-		return Replay(f, data, n, c)
+		memo[r] = counts
+		return counts, nil
 	}
 
 	// Phase 1: find b with neighborhood violations, starting from 1.
@@ -122,7 +165,9 @@ func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
 	}
 
 	// Phase 2: push lo down until safe-zone violations vanish, and hi up
-	// until neighborhood violations vanish.
+	// until neighborhood violations vanish. Either loop can exhaust its
+	// halving budget without reaching the goal; that is recorded instead of
+	// silently proceeding with a bad bracket.
 	lo, hi := b, b
 	for i := 0; i < maxHalvings; i++ {
 		counts, err = run(lo)
@@ -130,9 +175,12 @@ func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
 			return res, err
 		}
 		if counts.SafeZone == 0 {
+			res.LoConverged = true
 			break
 		}
-		lo /= 2
+		if i < maxHalvings-1 {
+			lo /= 2
+		}
 	}
 	for i := 0; i < maxHalvings; i++ {
 		counts, err = run(hi)
@@ -140,9 +188,12 @@ func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
 			return res, err
 		}
 		if counts.Neighborhood == 0 {
+			res.HiConverged = true
 			break
 		}
-		hi *= 2
+		if i < maxHalvings-1 {
+			hi *= 2
+		}
 	}
 
 	// Phase 3: grid search for the minimum total violations.
@@ -168,5 +219,8 @@ func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
 	}
 	res.R = bestR
 	res.Counts = bestCounts
+	if !res.LoConverged && !res.HiConverged {
+		return res, ErrBracketNotConverged
+	}
 	return res, nil
 }

@@ -20,6 +20,7 @@ import (
 	"automon/internal/core"
 	"automon/internal/funcs"
 	"automon/internal/nn"
+	"automon/internal/obs"
 	"automon/internal/sim"
 	"automon/internal/stream"
 )
@@ -32,6 +33,10 @@ type Options struct {
 	Quick bool
 	// Seed drives every generator and optimizer for reproducibility.
 	Seed int64
+	// Telemetry, when set, receives a RunSnapshot (result aggregates plus a
+	// per-run metric registry snapshot) for every simulated run the suite
+	// executes; automon-bench serializes it with -telemetry.
+	Telemetry *Telemetry
 }
 
 func (o Options) rounds(full int) int {
@@ -107,11 +112,21 @@ type Workload struct {
 	FixedR     float64
 	TuneRounds int
 	Decomp     core.DecompOptions
+
+	// tel, when non-nil, records a RunSnapshot per run (set by the workload
+	// constructors from Options.Telemetry).
+	tel *Telemetry
 }
 
-// run executes one monitored configuration.
+// run executes one monitored configuration. When telemetry is enabled the
+// run gets a private metric registry whose snapshot rides along with the
+// result aggregates.
 func (w *Workload) run(alg sim.Algorithm, eps float64, period int, trace bool) (*sim.Result, error) {
-	return sim.Run(sim.Config{
+	var reg *obs.Registry
+	if w.tel != nil {
+		reg = obs.NewRegistry()
+	}
+	res, err := sim.Run(sim.Config{
 		F:         w.F,
 		Data:      w.Data,
 		Algorithm: alg,
@@ -123,7 +138,12 @@ func (w *Workload) run(alg sim.Algorithm, eps float64, period int, trace bool) (
 			Decomp:  w.Decomp,
 		},
 		TuneRounds: w.TuneRounds,
+		Metrics:    reg,
 	})
+	if err == nil {
+		w.tel.record(w.Name, eps, res, reg)
+	}
+	return res, err
 }
 
 // InnerProductWorkload is the §4.2 inner-product setup (default d = 40,
@@ -132,6 +152,7 @@ func InnerProductWorkload(o Options, d, nodes int) *Workload {
 	half := d / 2
 	return &Workload{
 		Name: "inner-product",
+		tel:  o.Telemetry,
 		F:    funcs.InnerProduct(half),
 		Data: stream.InnerProductPhases(half, nodes, o.rounds(1000), o.Seed+1),
 	}
@@ -142,6 +163,7 @@ func InnerProductWorkload(o Options, d, nodes int) *Workload {
 func QuadraticWorkload(o Options, d, nodes int) *Workload {
 	return &Workload{
 		Name: "quadratic",
+		tel:  o.Telemetry,
 		F:    funcs.RandomQuadratic(d, o.Seed+2),
 		Data: stream.QuadraticOutlier(d, nodes, o.rounds(1000), o.Seed+3),
 	}
@@ -154,6 +176,7 @@ func KLDWorkload(o Options, d, nodes, rounds int) *Workload {
 	tau := 1.0 / float64(nodes*200)
 	return &Workload{
 		Name:       "kld",
+		tel:        o.Telemetry,
 		F:          funcs.KLD(bins, tau),
 		Data:       stream.NewAirQuality(nodes, bins, o.rounds(rounds), o.Seed+4),
 		TuneRounds: o.rounds(200),
@@ -169,6 +192,7 @@ func MLPWorkload(o Options, d, nodes int) (*Workload, error) {
 	}
 	return &Workload{
 		Name:       fmt.Sprintf("mlp-%d", d),
+		tel:        o.Telemetry,
 		F:          f,
 		Data:       stream.MLPDrift(d, nodes, o.rounds(1000), o.Seed+6),
 		TuneRounds: o.rounds(200),
@@ -212,6 +236,7 @@ func DNNWorkload(o Options) (*Workload, error) {
 	}
 	w := &Workload{
 		Name:   "dnn-intrusion",
+		tel:    o.Telemetry,
 		F:      funcs.Network("dnn-intrusion", net),
 		Data:   in.Dataset,
 		Decomp: core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 8, OptMaxFunEvals: 40},
@@ -228,6 +253,7 @@ func DNNWorkload(o Options) (*Workload, error) {
 func RosenbrockWorkload(o Options, nodes, rounds int) *Workload {
 	return &Workload{
 		Name:   "rosenbrock",
+		tel:    o.Telemetry,
 		F:      funcs.Rosenbrock(),
 		Data:   stream.GaussianNoise(2, nodes, o.rounds(rounds), 0, 0.2, o.Seed+9),
 		Decomp: core.DecompOptions{Seed: o.Seed},

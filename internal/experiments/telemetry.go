@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"automon/internal/core"
+	"automon/internal/obs"
+	"automon/internal/sim"
+)
+
+// RunSnapshot is the machine-readable telemetry of one simulated run: the
+// result aggregates plus a flat snapshot of every automon_* instrument the
+// run touched. It is what `automon-bench -telemetry` writes per run.
+type RunSnapshot struct {
+	Workload  string  `json:"workload"`
+	Algorithm string  `json:"algorithm"`
+	Epsilon   float64 `json:"epsilon"`
+	Rounds    int     `json:"rounds"`
+
+	Messages     int     `json:"messages"`
+	PayloadBytes int     `json:"payload_bytes"`
+	MaxErr       float64 `json:"max_err"`
+	MeanErr      float64 `json:"mean_err"`
+	P99Err       float64 `json:"p99_err"`
+	MissedRounds int     `json:"missed_rounds"`
+	TunedR       float64 `json:"tuned_r,omitempty"`
+
+	Stats   core.CoordStats    `json:"coordinator_stats"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Telemetry accumulates per-run metric snapshots across an experiment
+// session. The zero value is ready to use; nil receivers are no-ops, so
+// workloads record unconditionally.
+type Telemetry struct {
+	mu   sync.Mutex
+	runs []RunSnapshot
+}
+
+// record captures one finished run. Each run uses its own registry, so the
+// snapshot holds exactly that run's instruments.
+func (t *Telemetry) record(workload string, eps float64, res *sim.Result, reg *obs.Registry) {
+	if t == nil || res == nil {
+		return
+	}
+	snap := RunSnapshot{
+		Workload:     workload,
+		Algorithm:    res.Algorithm,
+		Epsilon:      eps,
+		Rounds:       res.Rounds,
+		Messages:     res.Messages,
+		PayloadBytes: res.PayloadBytes,
+		MaxErr:       res.MaxErr,
+		MeanErr:      res.MeanErr,
+		P99Err:       res.P99Err,
+		MissedRounds: res.MissedRounds,
+		TunedR:       res.TunedR,
+		Stats:        res.Stats,
+		Metrics:      reg.Snapshot(),
+	}
+	t.mu.Lock()
+	t.runs = append(t.runs, snap)
+	t.mu.Unlock()
+}
+
+// Runs returns a copy of the collected snapshots.
+func (t *Telemetry) Runs() []RunSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]RunSnapshot(nil), t.runs...)
+}
+
+// WriteJSON renders the collected snapshots as an indented JSON array.
+func (t *Telemetry) WriteJSON(w io.Writer) error {
+	runs := t.Runs()
+	if runs == nil {
+		runs = []RunSnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(runs)
+}

@@ -23,8 +23,12 @@ func runHybrid(cfg Config, res *Result, windows []stream.Windower) (*Result, err
 		nodes[i] = core.NewNode(i, cfg.F)
 		nodes[i].SetData(windows[i].Vector())
 	}
-	comm := &countingComm{nodes: nodes, res: res}
-	coord := core.NewCoordinator(cfg.F, n, cfg.Core, comm)
+	comm := newCountingComm(cfg, res, nodes)
+	coreCfg := cfg.Core
+	if coreCfg.Metrics == nil {
+		coreCfg.Metrics = cfg.Metrics
+	}
+	coord := core.NewCoordinator(cfg.F, n, coreCfg, comm)
 	if err := coord.Init(); err != nil {
 		return nil, err
 	}
@@ -58,9 +62,7 @@ func runHybrid(cfg Config, res *Result, windows []stream.Windower) (*Result, err
 			if centralized {
 				// Fallback: every update is shipped, exactly like the
 				// centralization baseline.
-				res.Messages++
-				res.MessagesByType[core.MsgDataResponse]++
-				res.PayloadBytes += len((&core.DataResponse{NodeID: i, X: windows[i].Vector()}).Encode())
+				comm.count(&core.DataResponse{NodeID: i, X: windows[i].Vector()})
 				continue
 			}
 			v := nodes[i].UpdateData(windows[i].Vector())
@@ -112,7 +114,7 @@ func runHybrid(cfg Config, res *Result, windows []stream.Windower) (*Result, err
 			activeInWindow = 0
 		}
 	}
-	res.Stats = coord.Stats
+	res.Stats = coord.Stats()
 	res.TunedR = coord.R()
 	res.finalize(cfg.Trace)
 	return res, nil

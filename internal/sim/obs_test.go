@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"automon/internal/core"
+	"automon/internal/funcs"
+	"automon/internal/obs"
+	"automon/internal/stream"
+)
+
+// TestSimMetricsMatchResult asserts the Result traffic fields are views over
+// the registry counters: a scrape and the returned aggregates cannot differ.
+func TestSimMetricsMatchResult(t *testing.T) {
+	f := funcs.InnerProduct(4)
+	ds := stream.InnerProductPhases(4, 5, 150, 1)
+	for _, alg := range []Algorithm{AutoMon, Centralization, Periodic, Hybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			res, err := Run(Config{
+				F: f, Data: ds, Algorithm: alg, Period: 10,
+				Core:          core.Config{Epsilon: 0.2},
+				Metrics:       reg,
+				MetricsLabels: `alg="` + alg.String() + `"`,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := reg.Snapshot()
+			lbl := `{alg="` + alg.String() + `"}`
+			if got := snap["automon_sim_messages_total"+lbl]; int(got) != res.Messages {
+				t.Fatalf("messages metric %v != result %d", got, res.Messages)
+			}
+			if got := snap["automon_sim_payload_bytes_total"+lbl]; int(got) != res.PayloadBytes {
+				t.Fatalf("payload metric %v != result %d", got, res.PayloadBytes)
+			}
+			byType := 0
+			for typ, n := range res.MessagesByType {
+				name := `automon_sim_messages_by_type_total{type="` + typ.String() + `",alg="` + alg.String() + `"}`
+				if got := snap[name]; int(got) != n {
+					t.Fatalf("%s = %v, result says %d", name, got, n)
+				}
+				byType += n
+			}
+			if byType != res.Messages {
+				t.Fatalf("per-type sum %d != total %d", byType, res.Messages)
+			}
+			// The AutoMon-family runs also surface protocol counters.
+			if alg == AutoMon || alg == Hybrid {
+				if got := snap["automon_coordinator_full_syncs_total"]; int(got) != res.Stats.FullSyncs {
+					t.Fatalf("coordinator full syncs metric %v != stats %d", got, res.Stats.FullSyncs)
+				}
+			}
+		})
+	}
+}

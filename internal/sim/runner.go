@@ -13,6 +13,7 @@ import (
 
 	"automon/internal/core"
 	"automon/internal/linalg"
+	"automon/internal/obs"
 	"automon/internal/stream"
 )
 
@@ -69,6 +70,16 @@ type Config struct {
 	// Trace records per-round estimate/true/error series and the cumulative
 	// message count (used by the time-series figures).
 	Trace bool
+
+	// Metrics, when set, exposes the run's traffic counters under
+	// automon_sim_* names (and is handed to the core coordinator unless
+	// Core.Metrics is already set). Because registration is get-or-create,
+	// two runs sharing a registry without distinguishing MetricsLabels share
+	// (and accumulate into) the same counters.
+	Metrics *obs.Registry
+	// MetricsLabels is the label set stamped on this run's automon_sim_*
+	// metrics, e.g. `alg="automon",fn="inner_product"`.
+	MetricsLabels string
 }
 
 // Result aggregates one run.
@@ -93,10 +104,64 @@ type Result struct {
 }
 
 // countingComm implements core.NodeComm over in-process nodes while
-// accounting for every message and its encoded payload size.
+// accounting for every message and its encoded payload size. The counts live
+// in obs counters; the Result fields are refreshed from them on every count,
+// so a registry scrape and the Result can never disagree. The baseline
+// algorithms (centralization, periodic, hybrid fallback) use count too, with
+// nodes unset.
 type countingComm struct {
 	nodes []*core.Node
 	res   *Result
+
+	msgs    *obs.Counter
+	payload *obs.Counter
+	byType  map[core.MsgType]*obs.Counter
+}
+
+// newCountingComm wires the comm's counters, registering them when the run
+// has a registry.
+func newCountingComm(cfg Config, res *Result, nodes []*core.Node) *countingComm {
+	// Per-metric labels come first, run-wide MetricsLabels after — the same
+	// convention transport.Bind uses ({dir=...,side=...}).
+	lbl := func(extra string) string {
+		set := extra
+		if cfg.MetricsLabels != "" {
+			if set != "" {
+				set += ","
+			}
+			set += cfg.MetricsLabels
+		}
+		if set == "" {
+			return ""
+		}
+		return "{" + set + "}"
+	}
+	c := &countingComm{
+		nodes:  nodes,
+		res:    res,
+		byType: make(map[core.MsgType]*obs.Counter),
+	}
+	c.msgs = simCounter(cfg.Metrics, "automon_sim_messages_total"+lbl(""),
+		"Messages the simulated run would place on the network.")
+	c.payload = simCounter(cfg.Metrics, "automon_sim_payload_bytes_total"+lbl(""),
+		"Encoded payload bytes of the simulated run.")
+	for _, t := range []core.MsgType{
+		core.MsgViolation, core.MsgDataRequest, core.MsgDataResponse,
+		core.MsgSync, core.MsgSlack, core.MsgRejoin,
+	} {
+		c.byType[t] = simCounter(cfg.Metrics,
+			fmt.Sprintf("automon_sim_messages_by_type_total%s", lbl(fmt.Sprintf("type=%q", t))),
+			"Simulated messages broken down by protocol message type.")
+	}
+	return c
+}
+
+// simCounter is the registry-or-standalone counter helper for this package.
+func simCounter(reg *obs.Registry, name, help string) *obs.Counter {
+	if c := reg.Counter(name, help); c != nil {
+		return c
+	}
+	return obs.NewCounter()
 }
 
 func (c *countingComm) RequestData(id int) []float64 {
@@ -117,9 +182,14 @@ func (c *countingComm) SendSlack(id int, m *core.Slack) {
 }
 
 func (c *countingComm) count(m core.Message) {
-	c.res.Messages++
-	c.res.MessagesByType[m.Type()]++
-	c.res.PayloadBytes += len(m.Encode())
+	t := m.Type()
+	c.msgs.Inc()
+	c.byType[t].Inc()
+	c.payload.Add(int64(len(m.Encode())))
+	// The Result fields are views: always re-read from the counters.
+	c.res.Messages = int(c.msgs.Load())
+	c.res.MessagesByType[t] = int(c.byType[t].Load())
+	c.res.PayloadBytes = int(c.payload.Load())
 }
 
 // Run executes one monitoring run and returns its statistics.
@@ -218,10 +288,13 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 		nodes[i] = core.NewNode(i, cfg.F)
 		nodes[i].SetData(windows[i].Vector())
 	}
-	comm := &countingComm{nodes: nodes, res: res}
+	comm := newCountingComm(cfg, res, nodes)
 
 	startRound := 0
 	coreCfg := cfg.Core
+	if coreCfg.Metrics == nil {
+		coreCfg.Metrics = cfg.Metrics
+	}
 	needsTuning := cfg.TuneRounds > 0 && coreCfg.R == 0 &&
 		!coreCfg.DisableADCD && coreCfg.ZoneBuilder == nil && !cfg.F.HasConstantHessian()
 	if needsTuning {
@@ -282,7 +355,7 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 		trueAverage(avg, windows)
 		res.observe(cfg, coord.Estimate(), cfg.F.Value(avg), cfg.Trace)
 	}
-	res.Stats = coord.Stats
+	res.Stats = coord.Stats()
 	if res.TunedR == 0 {
 		res.TunedR = coord.R()
 	}
@@ -292,6 +365,7 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 
 func runCentralization(cfg Config, res *Result, windows []stream.Windower) (*Result, error) {
 	ds := cfg.Data
+	comm := newCountingComm(cfg, res, nil)
 	avg := make([]float64, cfg.F.Dim())
 	for r := 0; r < ds.Rounds; r++ {
 		for i := 0; i < ds.Nodes; i++ {
@@ -300,9 +374,7 @@ func runCentralization(cfg Config, res *Result, windows []stream.Windower) (*Res
 				continue
 			}
 			windows[i].Push(s)
-			res.Messages++
-			res.MessagesByType[core.MsgDataResponse]++
-			res.PayloadBytes += len((&core.DataResponse{NodeID: i, X: windows[i].Vector()}).Encode())
+			comm.count(&core.DataResponse{NodeID: i, X: windows[i].Vector()})
 		}
 		trueAverage(avg, windows)
 		truth := cfg.F.Value(avg)
@@ -317,6 +389,7 @@ func runPeriodic(cfg Config, res *Result, windows []stream.Windower) (*Result, e
 		return nil, fmt.Errorf("sim: periodic baseline requires Period > 0")
 	}
 	ds := cfg.Data
+	comm := newCountingComm(cfg, res, nil)
 	avg := make([]float64, cfg.F.Dim())
 	trueAverage(avg, windows)
 	est := cfg.F.Value(avg)
@@ -328,9 +401,7 @@ func runPeriodic(cfg Config, res *Result, windows []stream.Windower) (*Result, e
 		}
 		if (r+1)%cfg.Period == 0 {
 			for i := 0; i < ds.Nodes; i++ {
-				res.Messages++
-				res.MessagesByType[core.MsgDataResponse]++
-				res.PayloadBytes += len((&core.DataResponse{NodeID: i, X: windows[i].Vector()}).Encode())
+				comm.count(&core.DataResponse{NodeID: i, X: windows[i].Vector()})
 			}
 			trueAverage(avg, windows)
 			est = cfg.F.Value(avg)

@@ -5,10 +5,10 @@ import (
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"automon/internal/core"
+	"automon/internal/obs"
 )
 
 // NodeClient runs one AutoMon node over a TCP connection to the coordinator.
@@ -47,7 +47,11 @@ type NodeClient struct {
 	failedOnce sync.Once
 	closeCh    chan struct{}
 	closeOnce  sync.Once
-	reconnects atomic.Int64
+
+	reconnects     *obs.Counter   // successful rejoins after a connection loss
+	reconnectTries *obs.Counter   // dial attempts made by the reconnect loop
+	backoffWait    *obs.Histogram // jittered backoff sleeps, in seconds
+	tracer         *obs.Tracer
 
 	rng *rand.Rand // backoff jitter; used only by the run goroutine
 	wg  sync.WaitGroup
@@ -77,6 +81,19 @@ func DialNode(addr string, id int, f *core.Function, initial []float64, opts Opt
 		closeCh:  make(chan struct{}),
 		rng:      rand.New(rand.NewSource(seed)),
 	}
+	nodeLabel := fmt.Sprintf(`node="%d"`, id)
+	c.Stats.Bind(opts.Metrics, `side="node",`+nodeLabel, opts.Tracer, id)
+	c.tracer = opts.Tracer
+	c.reconnects = counterOr(opts.Metrics,
+		fmt.Sprintf("automon_transport_reconnects_total{%s}", nodeLabel),
+		"Successful rejoins after a connection loss.")
+	c.reconnectTries = counterOr(opts.Metrics,
+		fmt.Sprintf("automon_transport_reconnect_attempts_total{%s}", nodeLabel),
+		"Dial attempts made by the reconnect loop.")
+	c.backoffWait = histogramOr(opts.Metrics,
+		fmt.Sprintf("automon_transport_backoff_seconds{%s}", nodeLabel),
+		"Jittered reconnect backoff sleeps.",
+		[]float64{0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 5})
 	c.node.SetData(initial)
 	if err := writeFrame(conn, &core.DataResponse{NodeID: id, X: initial}, opts.Latency, opts.WriteTimeout, &c.Stats, &c.writeMu); err != nil {
 		conn.Close()
@@ -201,11 +218,14 @@ func (c *NodeClient) reconnect(cause error) error {
 		// Jitter uniformly over [backoff/2, backoff] so a herd of nodes
 		// killed by the same fault does not reconnect in lockstep.
 		d := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+		c.backoffWait.Observe(d.Seconds())
 		select {
 		case <-c.closeCh:
 			return cause
 		case <-time.After(d):
 		}
+		c.reconnectTries.Inc()
+		c.tracer.Record(obs.EventReconnectTry, c.ID, float64(attempt), "")
 		conn, err := c.opts.Dial("tcp", c.addr, c.opts.DialTimeout)
 		if err == nil {
 			c.mu.Lock()
@@ -219,7 +239,8 @@ func (c *NodeClient) reconnect(cause error) error {
 				if !c.setConn(conn) {
 					return cause
 				}
-				c.reconnects.Add(1)
+				c.reconnects.Inc()
+				c.tracer.Record(obs.EventReconnected, c.ID, float64(attempt), "")
 				return nil
 			}
 			conn.Close()
@@ -231,6 +252,7 @@ func (c *NodeClient) reconnect(cause error) error {
 			}
 		}
 	}
+	c.tracer.Record(obs.EventReconnectFailed, c.ID, float64(c.opts.MaxReconnectAttempts), "")
 	return fmt.Errorf("transport: node %d gave up after %d reconnect attempts: %w",
 		c.ID, c.opts.MaxReconnectAttempts, cause)
 }

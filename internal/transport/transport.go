@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"automon/internal/core"
+	"automon/internal/obs"
 )
 
 // perMessageWireOverhead approximates Ethernet + IP + TCP header bytes per
@@ -60,29 +61,104 @@ func isProtocolError(err error) bool {
 	return errors.Is(err, errFrameTooLarge) || errors.Is(err, errMalformedFrame)
 }
 
-// TrafficStats counts one side's traffic. All fields are updated atomically
-// and may be read concurrently. The accounting identity
-// Wire = Payload + Messages·(frameHeader + perMessageWireOverhead) holds on
-// both counters at all times, including under injected faults.
-type TrafficStats struct {
-	MessagesSent     atomic.Int64
-	MessagesReceived atomic.Int64
-	PayloadSent      atomic.Int64
-	PayloadReceived  atomic.Int64
-	WireSent         atomic.Int64
-	WireReceived     atomic.Int64
+// counterOr returns the registry's counter for name, or a standalone one
+// when reg is nil — instrumented code always counts through a live counter
+// so Stats-style accessors never report stale zeros.
+func counterOr(reg *obs.Registry, name, help string) *obs.Counter {
+	if c := reg.Counter(name, help); c != nil {
+		return c
+	}
+	return obs.NewCounter()
 }
 
-func (s *TrafficStats) countSend(payload int) {
-	s.MessagesSent.Add(1)
+// histogramOr is counterOr for histograms.
+func histogramOr(reg *obs.Registry, name, help string, bounds []float64) *obs.Histogram {
+	if h := reg.Histogram(name, help, bounds); h != nil {
+		return h
+	}
+	return obs.NewHistogram(bounds)
+}
+
+// TrafficStats counts one side's traffic. The fields are obs counters (views
+// over the same instruments a registry scrape reads), updated atomically and
+// safe for concurrent reads via Load. The accounting identity
+// Wire = Payload + Messages·(frameHeader + perMessageWireOverhead) holds on
+// both directions at all times, including under injected faults.
+//
+// The zero value works: counters are created lazily on first use. Bind
+// attaches the counters to a registry (and optionally a tracer for per-frame
+// events) and must be called before the endpoint starts concurrent I/O —
+// ListenCoordinator and DialNode do this during construction.
+type TrafficStats struct {
+	MessagesSent     *obs.Counter
+	MessagesReceived *obs.Counter
+	PayloadSent      *obs.Counter
+	PayloadReceived  *obs.Counter
+	WireSent         *obs.Counter
+	WireReceived     *obs.Counter
+
+	once   sync.Once
+	tracer *obs.Tracer
+	peer   int // node id stamped on trace events; -1 on the coordinator side
+}
+
+// ensure materializes any counters still nil. Safe to race via sync.Once;
+// after the first call the pointer fields never change again.
+func (s *TrafficStats) ensure() {
+	s.once.Do(func() {
+		for _, c := range []**obs.Counter{
+			&s.MessagesSent, &s.MessagesReceived,
+			&s.PayloadSent, &s.PayloadReceived,
+			&s.WireSent, &s.WireReceived,
+		} {
+			if *c == nil {
+				*c = obs.NewCounter()
+			}
+		}
+	})
+}
+
+// Bind registers the counters under automon_transport_* names carrying the
+// given label set (e.g. `side="coordinator"` or `side="node",node="3"`), and
+// installs a tracer for frame events. reg and tracer may be nil. Must run
+// before the endpoint serves traffic concurrently.
+func (s *TrafficStats) Bind(reg *obs.Registry, labelSet string, tracer *obs.Tracer, peer int) {
+	s.ensure()
+	s.tracer = tracer
+	s.peer = peer
+	lbl := func(extra string) string {
+		if labelSet == "" {
+			return "{" + extra + "}"
+		}
+		return "{" + extra + "," + labelSet + "}"
+	}
+	const (
+		msgsHelp    = "Frames exchanged by a transport endpoint."
+		payloadHelp = "Encoded message payload bytes, the paper's payload series."
+		wireHelp    = "Estimated wire bytes including framing and TCP/IP overhead."
+	)
+	reg.RegisterCounter("automon_transport_messages_total"+lbl(`dir="sent"`), msgsHelp, s.MessagesSent)
+	reg.RegisterCounter("automon_transport_messages_total"+lbl(`dir="recv"`), msgsHelp, s.MessagesReceived)
+	reg.RegisterCounter("automon_transport_payload_bytes_total"+lbl(`dir="sent"`), payloadHelp, s.PayloadSent)
+	reg.RegisterCounter("automon_transport_payload_bytes_total"+lbl(`dir="recv"`), payloadHelp, s.PayloadReceived)
+	reg.RegisterCounter("automon_transport_wire_bytes_total"+lbl(`dir="sent"`), wireHelp, s.WireSent)
+	reg.RegisterCounter("automon_transport_wire_bytes_total"+lbl(`dir="recv"`), wireHelp, s.WireReceived)
+}
+
+func (s *TrafficStats) countSend(payload int, msgType string) {
+	s.ensure()
+	s.MessagesSent.Inc()
 	s.PayloadSent.Add(int64(payload))
 	s.WireSent.Add(int64(payload + frameHeader + perMessageWireOverhead))
+	s.tracer.Record(obs.EventFrameSent, s.peer, float64(payload), msgType)
 }
 
-func (s *TrafficStats) countRecv(payload int) {
-	s.MessagesReceived.Add(1)
+func (s *TrafficStats) countRecv(payload int, msgType string) {
+	s.ensure()
+	s.MessagesReceived.Inc()
 	s.PayloadReceived.Add(int64(payload))
 	s.WireReceived.Add(int64(payload + frameHeader + perMessageWireOverhead))
+	s.tracer.Record(obs.EventFrameReceived, s.peer, float64(payload), msgType)
 }
 
 // Options configure both endpoints.
@@ -120,6 +196,14 @@ type Options struct {
 	// Dial replaces net.DialTimeout for node connections. The chaos package
 	// uses it to interpose fault-injecting connections.
 	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+	// Metrics, when set, receives every transport and protocol instrument of
+	// the endpoint (scraped via obs.Serve). Nil leaves the counters
+	// unregistered but still live — Stats snapshots keep working.
+	Metrics *obs.Registry
+	// Tracer, when set, records structured protocol events (frames, deaths,
+	// syncs, reconnects). Nil disables tracing at a single branch per event.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) defaults() {
@@ -176,7 +260,7 @@ func writeFrame(conn net.Conn, m core.Message, latency, timeout time.Duration, s
 	if _, err := conn.Write(buf); err != nil {
 		return err
 	}
-	stats.countSend(len(payload))
+	stats.countSend(len(payload), m.Type().String())
 	return nil
 }
 
@@ -217,7 +301,7 @@ func decodeFrame(r io.Reader, stats *TrafficStats) (core.Message, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errMalformedFrame, err)
 	}
-	stats.countRecv(int(n))
+	stats.countRecv(int(n), m.Type().String())
 	return m, nil
 }
 
@@ -232,6 +316,10 @@ type Coordinator struct {
 	cfg   core.Config
 	opts  Options
 	Stats TrafficStats
+
+	deadlineHits   *obs.Counter // data-request round trips that timed out
+	shedViolations *obs.Counter // violation reports dropped on a full queue
+	tracer         *obs.Tracer
 
 	mu    sync.Mutex // guards coord (single resolution at a time)
 	coord *core.Coordinator
@@ -280,6 +368,14 @@ func ListenCoordinator(addr string, f *core.Function, n int, cfg core.Config, op
 	if err != nil {
 		return nil, err
 	}
+	// The core coordinator inherits the endpoint's registry and tracer unless
+	// the caller wired its own into the core config.
+	if cfg.Metrics == nil {
+		cfg.Metrics = opts.Metrics
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = opts.Tracer
+	}
 	c := &Coordinator{
 		ln:      ln,
 		f:       f,
@@ -298,6 +394,12 @@ func ListenCoordinator(addr string, f *core.Function, n int, cfg core.Config, op
 		deadCh: make(chan int, 4*n),
 		done:   make(chan struct{}),
 	}
+	c.Stats.Bind(opts.Metrics, `side="coordinator"`, opts.Tracer, -1)
+	c.tracer = opts.Tracer
+	c.deadlineHits = counterOr(opts.Metrics, "automon_transport_request_timeouts_total",
+		"Data-request round trips that exceeded RequestTimeout (node recycled).")
+	c.shedViolations = counterOr(opts.Metrics, "automon_transport_shed_violations_total",
+		"Violation reports dropped because a resolution storm filled the queue.")
 	c.wg.Add(1)
 	go c.acceptLoop()
 	c.wg.Add(1)
@@ -440,7 +542,7 @@ func (c *Coordinator) CoordStats() core.CoordStats {
 	if c.coord == nil {
 		return core.CoordStats{}
 	}
-	return c.coord.Stats
+	return c.coord.Stats()
 }
 
 // Close stops the listener and all connections.
@@ -610,6 +712,7 @@ func (c *Coordinator) serveConn(cc *coordConn) {
 			select {
 			case c.violCh <- msg:
 			default:
+				c.shedViolations.Inc()
 			}
 		case *core.Rejoin:
 			// A duplicated registration frame (the rejoin that opened this
@@ -681,6 +784,8 @@ func (s *socketComm) RequestData(id int) []float64 {
 		// A node that cannot answer a data request is useless even if its
 		// TCP connection looks healthy: recycle the connection so the node
 		// notices, reconnects, and rejoins with fresh state.
+		s.c.deadlineHits.Inc()
+		s.c.tracer.Record(obs.EventDeadlineHit, id, s.c.opts.RequestTimeout.Seconds(), "data-request")
 		cc.conn.Close()
 		s.noteDead(id)
 		return nil
