@@ -405,3 +405,38 @@ func TestTuneEndToEndStillConverges(t *testing.T) {
 		t.Fatalf("bracket did not converge on well-behaved data: %+v", res)
 	}
 }
+
+func TestTuneReplaysDoNotPolluteSharedRegistry(t *testing.T) {
+	// Tuning replays must run on private instruments. With get-or-create
+	// registration, replays sharing the caller's registry would all read and
+	// write the same automon_coordinator_* counters, so the bracketing search
+	// would see violation counts accumulated across every prior replay (hi
+	// could never reach zero neighborhood violations) and the caller's scrape
+	// would absorb the probes' events.
+	f := rosenbrockFunc()
+	n := 4
+	data := rosenbrockData(rand.New(rand.NewSource(41)), 80, n)
+	base, err := Tune(f, data, n, Config{Epsilon: 0.25, Decomp: DecompOptions{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	shared, err := Tune(f, data, n, Config{
+		Epsilon: 0.25, Decomp: DecompOptions{Seed: 2}, Metrics: reg, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.R != base.R || shared.Counts != base.Counts || shared.Replays != base.Replays ||
+		shared.LoConverged != base.LoConverged || shared.HiConverged != base.HiConverged {
+		t.Fatalf("shared registry changed tuning:\nbase   %+v\nshared %+v", base, shared)
+	}
+	if snap := reg.Snapshot(); len(snap) != 0 {
+		t.Fatalf("tuning replays registered metrics in the caller's registry: %v", snap)
+	}
+	if tr.Total() != 0 {
+		t.Fatalf("tuning replays recorded %d events in the caller's tracer", tr.Total())
+	}
+}

@@ -124,6 +124,15 @@ func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
 	replay := func(r float64) (ReplayCounts, error) {
 		c := cfg
 		c.R = r
+		// Tuning replays are throwaway probe runs, not the monitored
+		// deployment: give each its own private instruments. With a shared
+		// registry the get-or-create semantics would hand every replay's
+		// coordinator the same automon_coordinator_* counters, so the
+		// bracketing search would read violation counts accumulated across
+		// all prior replays (hi could never reach Neighborhood == 0) and the
+		// caller's scrape would absorb the probes' events.
+		c.Metrics = nil
+		c.Tracer = nil
 		return Replay(f, data, n, c)
 	}
 	return tuneWith(replay)

@@ -3,12 +3,27 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sync"
 
 	"automon/internal/core"
 	"automon/internal/obs"
 	"automon/internal/sim"
 )
+
+// JSONFloat marshals like float64 except that non-finite values become null:
+// encoding/json rejects NaN/±Inf outright, and a single poisoned gauge (e.g.
+// a degraded-mode estimate) must not make the whole telemetry file unwritable.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
 
 // RunSnapshot is the machine-readable telemetry of one simulated run: the
 // result aggregates plus a flat snapshot of every automon_* instrument the
@@ -27,8 +42,8 @@ type RunSnapshot struct {
 	MissedRounds int     `json:"missed_rounds"`
 	TunedR       float64 `json:"tuned_r,omitempty"`
 
-	Stats   core.CoordStats    `json:"coordinator_stats"`
-	Metrics map[string]float64 `json:"metrics"`
+	Stats   core.CoordStats      `json:"coordinator_stats"`
+	Metrics map[string]JSONFloat `json:"metrics"`
 }
 
 // Telemetry accumulates per-run metric snapshots across an experiment
@@ -58,7 +73,10 @@ func (t *Telemetry) record(workload string, eps float64, res *sim.Result, reg *o
 		MissedRounds: res.MissedRounds,
 		TunedR:       res.TunedR,
 		Stats:        res.Stats,
-		Metrics:      reg.Snapshot(),
+		Metrics:      make(map[string]JSONFloat),
+	}
+	for name, v := range reg.Snapshot() {
+		snap.Metrics[name] = JSONFloat(v)
 	}
 	t.mu.Lock()
 	t.runs = append(t.runs, snap)

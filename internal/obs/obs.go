@@ -142,6 +142,18 @@ const (
 	kindHistogram
 )
 
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("metricKind(%d)", uint8(k))
+}
+
 type metric struct {
 	name string // full name including any {labels} suffix
 	help string
@@ -188,6 +200,14 @@ func (r *Registry) lookupOrAdd(name, help string, kind metricKind, make_ func() 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			// Handing back the mismatched entry would give the caller a nil
+			// instrument, which the Or-helpers silently replace with an
+			// unregistered standalone one — exactly the Stats/scrape
+			// divergence this registry exists to rule out. A registration
+			// conflict is a programming error, so fail loudly.
+			panic(fmt.Sprintf("obs: metric %q already registered as a %s, requested as a %s", name, m.kind, kind))
+		}
 		return m
 	}
 	m := make_()
@@ -358,6 +378,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// jsonValue renders a float for the JSON exposition. JSON has no literal for
+// non-finite numbers, so NaN/±Inf become null rather than breaking parsers.
+func jsonValue(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return formatValue(v)
+}
+
 // WriteJSON renders the registry as a flat JSON object (the /debug/vars
 // payload), keyed by full metric name.
 func (r *Registry) WriteJSON(w io.Writer) error {
@@ -375,7 +404,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		if i == len(names)-1 {
 			sep = "\n"
 		}
-		if _, err := fmt.Fprintf(w, "  %q: %s%s", n, formatValue(snap[n]), sep); err != nil {
+		if _, err := fmt.Fprintf(w, "  %q: %s%s", n, jsonValue(snap[n]), sep); err != nil {
 			return err
 		}
 	}

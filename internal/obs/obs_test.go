@@ -144,6 +144,48 @@ func TestSnapshotAndJSON(t *testing.T) {
 	}
 }
 
+func TestWriteJSONNonFiniteValues(t *testing.T) {
+	// JSON has no literal for NaN/Inf; a poisoned gauge must render as null
+	// instead of breaking every /debug/vars consumer.
+	r := NewRegistry()
+	r.Gauge("nan_gauge", "").Set(math.NaN())
+	r.Gauge("inf_gauge", "").Set(math.Inf(1))
+	r.Gauge("neg_inf_gauge", "").Set(math.Inf(-1))
+	r.Gauge("ok", "").Set(2.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]*float64
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON with non-finite gauges is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{"nan_gauge", "inf_gauge", "neg_inf_gauge"} {
+		if decoded[name] != nil {
+			t.Fatalf("%s should render as null, got %v", name, *decoded[name])
+		}
+	}
+	if decoded["ok"] == nil || *decoded["ok"] != 2.5 {
+		t.Fatalf("finite value mangled:\n%s", buf.String())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	// Handing a counter registration back to a gauge request would yield a
+	// nil instrument and silently fork the caller onto an unregistered
+	// standalone one — the exact Stats/scrape divergence the registry rules
+	// out — so the conflict must fail loudly.
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("requesting x_total as a gauge after registering it as a counter must panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
 func TestTracerRingRetainsNewest(t *testing.T) {
 	tr := NewTracer(16)
 	for i := 0; i < 40; i++ {

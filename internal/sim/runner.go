@@ -113,6 +113,8 @@ type countingComm struct {
 	nodes []*core.Node
 	res   *Result
 
+	reg     *obs.Registry
+	lbl     func(extra string) string
 	msgs    *obs.Counter
 	payload *obs.Counter
 	byType  map[core.MsgType]*obs.Counter
@@ -139,21 +141,37 @@ func newCountingComm(cfg Config, res *Result, nodes []*core.Node) *countingComm 
 	c := &countingComm{
 		nodes:  nodes,
 		res:    res,
+		reg:    cfg.Metrics,
+		lbl:    lbl,
 		byType: make(map[core.MsgType]*obs.Counter),
 	}
 	c.msgs = simCounter(cfg.Metrics, "automon_sim_messages_total"+lbl(""),
 		"Messages the simulated run would place on the network.")
 	c.payload = simCounter(cfg.Metrics, "automon_sim_payload_bytes_total"+lbl(""),
 		"Encoded payload bytes of the simulated run.")
+	// Pre-register the known types so a scrape shows them at zero even
+	// before the first message; typeCounter creates any type not listed
+	// here on first sight, so new message types are never silently dropped.
 	for _, t := range []core.MsgType{
 		core.MsgViolation, core.MsgDataRequest, core.MsgDataResponse,
 		core.MsgSync, core.MsgSlack, core.MsgRejoin,
 	} {
-		c.byType[t] = simCounter(cfg.Metrics,
-			fmt.Sprintf("automon_sim_messages_by_type_total%s", lbl(fmt.Sprintf("type=%q", t))),
-			"Simulated messages broken down by protocol message type.")
+		c.typeCounter(t)
 	}
 	return c
+}
+
+// typeCounter returns the per-message-type counter, creating (and, when the
+// run has a registry, registering) it on first use.
+func (c *countingComm) typeCounter(t core.MsgType) *obs.Counter {
+	if ctr, ok := c.byType[t]; ok {
+		return ctr
+	}
+	ctr := simCounter(c.reg,
+		fmt.Sprintf("automon_sim_messages_by_type_total%s", c.lbl(fmt.Sprintf("type=%q", t))),
+		"Simulated messages broken down by protocol message type.")
+	c.byType[t] = ctr
+	return ctr
 }
 
 // simCounter is the registry-or-standalone counter helper for this package.
@@ -183,12 +201,13 @@ func (c *countingComm) SendSlack(id int, m *core.Slack) {
 
 func (c *countingComm) count(m core.Message) {
 	t := m.Type()
+	ctr := c.typeCounter(t)
 	c.msgs.Inc()
-	c.byType[t].Inc()
+	ctr.Inc()
 	c.payload.Add(int64(len(m.Encode())))
 	// The Result fields are views: always re-read from the counters.
 	c.res.Messages = int(c.msgs.Load())
-	c.res.MessagesByType[t] = int(c.byType[t].Load())
+	c.res.MessagesByType[t] = int(ctr.Load())
 	c.res.PayloadBytes = int(c.payload.Load())
 }
 
