@@ -25,9 +25,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed for data generation and optimizers")
 	latency := flag.Duration("latency", 0, "injected one-way latency for the figure-10 WAN runs (e.g. 28ms)")
 	telemetry := flag.String("telemetry", "", "write per-run metric snapshots as JSON to this file")
+	parallel := flag.Int("parallel", 0, "worker goroutines for sweep runs and tuning replays (0 = one per core, 1 = sequential); tables are identical at any setting")
 	flag.Parse()
 
-	o := experiments.Options{Quick: !*full, Seed: *seed}
+	o := experiments.Options{Quick: !*full, Seed: *seed, Workers: *parallel}
 	if *telemetry != "" {
 		o.Telemetry = &experiments.Telemetry{}
 	}

@@ -10,24 +10,36 @@ import (
 
 // bufferPool hands out float64 scratch slices sized to the graph. Graphs are
 // shared between goroutines (e.g. simulated nodes), so scratch space is
-// pooled rather than stored on the Graph.
+// pooled rather than stored on the Graph. The pool stores *[]float64: a bare
+// slice would be boxed into an interface on every Put, costing one heap
+// allocation per evaluation and breaking the zero-alloc monitoring path.
 type bufferPool struct {
 	size int
 	pool sync.Pool
 }
 
-func (p *bufferPool) get() []float64 {
+// get returns a dirty buffer: callers that fully overwrite it (forward
+// passes) skip the clearing cost.
+func (p *bufferPool) get() *[]float64 {
 	if v := p.pool.Get(); v != nil {
-		buf := v.([]float64)
-		for i := range buf {
-			buf[i] = 0
-		}
-		return buf
+		return v.(*[]float64)
 	}
-	return make([]float64, p.size)
+	s := make([]float64, p.size)
+	return &s
 }
 
-func (p *bufferPool) put(buf []float64) { p.pool.Put(buf) }
+// getZeroed returns a cleared buffer for accumulator passes (adjoints) that
+// read entries before writing them.
+func (p *bufferPool) getZeroed() *[]float64 {
+	buf := p.get()
+	s := *buf
+	for i := range s {
+		s[i] = 0
+	}
+	return buf
+}
+
+func (p *bufferPool) put(buf *[]float64) { p.pool.Put(buf) }
 
 func (g *Graph) checkDim(x []float64) {
 	if len(x) != len(g.vars) {
@@ -38,8 +50,9 @@ func (g *Graph) checkDim(x []float64) {
 // Value evaluates f(x).
 func (g *Graph) Value(x []float64) float64 {
 	g.checkDim(x)
-	val := g.pool.get()
-	defer g.pool.put(val)
+	valBuf := g.pool.get()
+	defer g.pool.put(valBuf)
+	val := *valBuf
 	g.forward(x, val)
 	return val[g.out]
 }
@@ -179,10 +192,10 @@ func (g *Graph) Grad(x, grad []float64) float64 {
 	if len(grad) != len(g.vars) {
 		panic("autodiff: grad buffer has wrong length")
 	}
-	val := g.pool.get()
-	adj := g.pool.get()
-	defer g.pool.put(val)
-	defer g.pool.put(adj)
+	valBuf, adjBuf := g.pool.get(), g.pool.getZeroed()
+	defer g.pool.put(valBuf)
+	defer g.pool.put(adjBuf)
+	val, adj := *valBuf, *adjBuf
 	g.forward(x, val)
 	adj[g.out] = 1
 	for i := len(g.nodes) - 1; i >= 0; i-- {
@@ -220,14 +233,14 @@ func (g *Graph) HVP(x, v, out []float64) {
 	if len(v) != len(g.vars) || len(out) != len(g.vars) {
 		panic("autodiff: HVP buffer has wrong length")
 	}
-	val := g.pool.get()
-	tan := g.pool.get()
-	adj := g.pool.get()
-	adjT := g.pool.get()
-	defer g.pool.put(val)
-	defer g.pool.put(tan)
-	defer g.pool.put(adj)
-	defer g.pool.put(adjT)
+	valBuf, tanBuf := g.pool.get(), g.pool.get()
+	adjBuf, adjTBuf := g.pool.getZeroed(), g.pool.getZeroed()
+	defer g.pool.put(valBuf)
+	defer g.pool.put(tanBuf)
+	defer g.pool.put(adjBuf)
+	defer g.pool.put(adjTBuf)
+	val, tan := *valBuf, *tanBuf
+	adj, adjT := *adjBuf, *adjTBuf
 
 	// Forward pass with tangents.
 	for i, n := range g.nodes {
@@ -410,8 +423,15 @@ func (g *Graph) Hessian(x []float64, h *linalg.Mat) {
 	if h.Rows != d || h.Cols != d {
 		panic("autodiff: Hessian matrix has wrong shape")
 	}
-	v := make([]float64, d)
-	col := make([]float64, d)
+	vBuf, colBuf := g.pool.get(), g.pool.get()
+	defer g.pool.put(vBuf)
+	defer g.pool.put(colBuf)
+	// Pool buffers are node-count sized (≥ d); use d-length prefixes. v must
+	// start zeroed — the loop below keeps exactly one basis entry set.
+	v, col := (*vBuf)[:d], (*colBuf)[:d]
+	for i := range v {
+		v[i] = 0
+	}
 	for j := 0; j < d; j++ {
 		v[j] = 1
 		g.HVP(x, v, col)

@@ -1,0 +1,63 @@
+package autodiff
+
+import (
+	"testing"
+
+	"automon/internal/linalg"
+)
+
+// benchGraph builds a d-dimensional graph with nonconstant Hessian.
+func benchGraph(d int) *Graph {
+	return Compile(d, func(b *Builder, x []Ref) Ref {
+		acc := b.Square(x[0])
+		for i := 0; i < d; i++ {
+			acc = b.Add(acc, b.Powi(x[i], 3))
+			acc = b.Add(acc, b.Mul(x[i], b.Square(x[(i+1)%d])))
+		}
+		return acc
+	})
+}
+
+func BenchmarkGraphValue(b *testing.B) {
+	const d = 16
+	g := benchGraph(d)
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = 0.3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Value(x)
+	}
+}
+
+func BenchmarkGraphGrad(b *testing.B) {
+	const d = 16
+	g := benchGraph(d)
+	x := make([]float64, d)
+	grad := make([]float64, d)
+	for i := range x {
+		x[i] = 0.3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Grad(x, grad)
+	}
+}
+
+func BenchmarkGraphHessian(b *testing.B) {
+	const d = 16
+	g := benchGraph(d)
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = 0.3
+	}
+	h := linalg.NewMat(d, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Hessian(x, h)
+	}
+}

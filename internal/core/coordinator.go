@@ -58,8 +58,26 @@ type Config struct {
 	// (with no intervening safe-zone violations) after which r is doubled.
 	// 0 means the paper default of 5n.
 	RDoubleAfter int
-	// Decomp configures the ADCD-X eigenvalue search.
+	// Decomp configures the ADCD-X eigenvalue search, including its worker
+	// count (Decomp.Workers) and eigensolve memoization.
 	Decomp DecompOptions
+	// TuneWorkers bounds the goroutines Tune uses to fan bracket and grid
+	// replays across radii. 0 or 1 runs sequentially (the default); higher
+	// values replay speculatively but select identical radii, so TuneResult
+	// is unchanged.
+	TuneWorkers int
+	// ZoneCacheSize bounds the coordinator's LRU cache of ADCD-X
+	// decompositions, keyed by the quantized (x0, r) of each full sync
+	// (see ZoneCacheQuantum). A full sync whose key matches a cached entry
+	// reuses the Lemma-1 curvature bounds and skips the eigenvalue search;
+	// f0, ∇f0 and the thresholds are always recomputed exactly for the true
+	// x0, and the §3.7 sanity check guards the reused bounds exactly as it
+	// guards the optimizer's local optima. 0 disables the cache (default).
+	ZoneCacheSize int
+	// ZoneCacheQuantum is the grid pitch used to quantize (x0, r) for zone
+	// cache lookups. 0 means DefaultZoneCacheQuantum; larger values hit more
+	// often but reuse bounds computed for a reference point further away.
+	ZoneCacheQuantum float64
 	// ZoneBuilder, when set, replaces ADCD entirely with a hand-crafted safe
 	// zone (used to plug GM baselines such as Convex Bound into the same
 	// protocol). Such zones are delivered to nodes in-memory.
@@ -108,6 +126,9 @@ type CoordStats struct {
 	RDoublings             int
 	NodeDeaths             int
 	Rejoins                int
+	Eigensolves            int
+	ZoneCacheHits          int
+	ZoneCacheMisses        int
 }
 
 // coordObs bundles the coordinator's observability instruments. Counters are
@@ -122,6 +143,9 @@ type coordObs struct {
 	rDoublings   *obs.Counter
 	nodeDeaths   *obs.Counter
 	rejoins      *obs.Counter
+	eigsolves    *obs.Counter
+	zcHits       *obs.Counter
+	zcMisses     *obs.Counter
 
 	liveNodes *obs.Gauge
 	radius    *obs.Gauge
@@ -148,6 +172,9 @@ func newCoordObs(reg *obs.Registry, tracer *obs.Tracer) coordObs {
 		rDoublings:   reg.Counter("automon_coordinator_r_doublings_total", "§3.6 neighborhood-size doublings"),
 		nodeDeaths:   reg.Counter("automon_coordinator_node_deaths_total", "nodes marked dead by the fabric"),
 		rejoins:      reg.Counter("automon_coordinator_rejoins_total", "nodes re-admitted after a death"),
+		eigsolves:    reg.Counter("automon_coordinator_eigensolves_total", "eigensolver evaluations performed by the ADCD-X search"),
+		zcHits:       reg.Counter("automon_coordinator_zone_cache_hits_total", "full syncs that reused a cached ADCD-X decomposition"),
+		zcMisses:     reg.Counter("automon_coordinator_zone_cache_misses_total", "full syncs that ran the eigenvalue search with the zone cache enabled"),
 		liveNodes:    reg.Gauge("automon_coordinator_live_nodes", "nodes currently considered reachable"),
 		radius:       reg.Gauge("automon_coordinator_neighborhood_radius", "current ADCD-X neighborhood size r"),
 		estimate:     reg.Gauge("automon_coordinator_estimate", "current approximation of f over the live-node average"),
@@ -180,6 +207,11 @@ type Coordinator struct {
 	lru         []int // least recently balanced first
 	consecNeigh int
 
+	// zoneCache caches ADCD-X decompositions keyed by quantized (x0, r);
+	// nil when Config.ZoneCacheSize is 0.
+	zoneCache   *zoneCache
+	zoneQuantum float64
+
 	// Liveness: dead nodes are excluded from syncs, from the reference-point
 	// average, and from lazy-sync balancing sets until they rejoin. While any
 	// node is dead the estimate is Degraded: it ε-approximates f over the
@@ -203,6 +235,9 @@ func (c *Coordinator) Stats() CoordStats {
 		RDoublings:             int(c.obs.rDoublings.Load()),
 		NodeDeaths:             int(c.obs.nodeDeaths.Load()),
 		Rejoins:                int(c.obs.rejoins.Load()),
+		Eigensolves:            int(c.obs.eigsolves.Load()),
+		ZoneCacheHits:          int(c.obs.zcHits.Load()),
+		ZoneCacheMisses:        int(c.obs.zcMisses.Load()),
 	}
 }
 
@@ -227,6 +262,18 @@ func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator 
 	}
 	c.obs.liveNodes.Set(float64(n))
 	c.obs.radius.Set(cfg.R)
+	// Surface the ADCD-X eigensolver work through the coordinator's metrics
+	// unless the caller already wired a counter of their own.
+	if c.Cfg.Decomp.EigsolveCounter == nil {
+		c.Cfg.Decomp.EigsolveCounter = c.obs.eigsolves
+	}
+	if cfg.ZoneCacheSize > 0 {
+		c.zoneCache = newZoneCache(cfg.ZoneCacheSize)
+		c.zoneQuantum = cfg.ZoneCacheQuantum
+		if c.zoneQuantum <= 0 {
+			c.zoneQuantum = DefaultZoneCacheQuantum
+		}
+	}
 	c.lastX = make([][]float64, n)
 	c.slacks = make([][]float64, n)
 	c.matrixSent = make([]bool, n)
@@ -591,10 +638,27 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 		zone = BuildZoneE(c.F, c.eDec, c.x0, l, u)
 	case MethodX:
 		bLo, bHi := NeighborhoodBox(c.F, c.x0, c.r)
-		zone, err = BuildZoneX(c.F, c.x0, l, u, bLo, bHi, c.Cfg.Decomp)
-		if err != nil {
-			return err
+		var dec *XDecomposition
+		var key string
+		if c.zoneCache != nil {
+			key = quantizeKey(c.x0, c.r, c.zoneQuantum)
+			if cached, ok := c.zoneCache.get(key); ok {
+				c.obs.zcHits.Inc()
+				dec = cached
+			} else {
+				c.obs.zcMisses.Inc()
+			}
 		}
+		if dec == nil {
+			dec, err = DecomposeX(c.F, c.x0, bLo, bHi, c.Cfg.Decomp)
+			if err != nil {
+				return err
+			}
+			if c.zoneCache != nil {
+				c.zoneCache.put(key, dec)
+			}
+		}
+		zone = BuildZoneXFrom(c.F, c.x0, l, u, bLo, bHi, dec)
 	}
 	c.zone = zone
 	c.obs.estimate.Set(zone.F0)

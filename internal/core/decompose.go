@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"automon/internal/linalg"
+	"automon/internal/obs"
 	"automon/internal/optimize"
 )
 
@@ -28,6 +29,20 @@ type DecompOptions struct {
 	UsePowerIteration bool
 	// PowerIters bounds the power-iteration count (default 100).
 	PowerIters int
+	// Workers bounds the goroutines running the λ̂min/λ̂max searches and
+	// their multi-starts. 0 means one worker per core (GOMAXPROCS); 1 runs
+	// sequentially. The start points are pre-drawn from Seed and the best
+	// result is selected in start order, so the outcome is bit-identical at
+	// every worker count.
+	Workers int
+	// DisableEvalMemo turns off the per-search eigensolve memoization that
+	// lets the objective and gradient closures share eigendecompositions at
+	// the same point. Only useful for measuring what the memo saves.
+	DisableEvalMemo bool
+	// EigsolveCounter, when non-nil, is incremented once per eigensolver
+	// evaluation (a dense eigendecomposition, or one power-iteration solve).
+	// Memo hits are not counted — the counter measures actual solver work.
+	EigsolveCounter *obs.Counter
 }
 
 func (o *DecompOptions) defaults() {
@@ -74,6 +89,158 @@ func DecomposeE(f *Function, x0 []float64) (*EDecomposition, error) {
 	}, nil
 }
 
+// eigsAtFunc returns the extreme-eigenpair evaluator selected by opts (dense
+// eigendecomposition or power iteration), wrapped so every actual solver
+// invocation bumps opts.EigsolveCounter. Memoization layers above call this
+// only on cache misses, which is exactly what the counter should measure.
+func eigsAtFunc(f *Function, opts DecompOptions) func(x []float64) (float64, float64, []float64, []float64, error) {
+	counter := opts.EigsolveCounter
+	if opts.UsePowerIteration {
+		iters := opts.PowerIters
+		if iters <= 0 {
+			iters = 100
+		}
+		return func(x []float64) (float64, float64, []float64, []float64, error) {
+			counter.Inc()
+			return f.ExtremeEigsAtPower(x, iters, opts.Seed+2)
+		}
+	}
+	return func(x []float64) (float64, float64, []float64, []float64, error) {
+		counter.Inc()
+		return f.ExtremeEigsAt(x)
+	}
+}
+
+// eigCacheSize is the ring capacity of the per-task eigensolve memo. The
+// L-BFGS line search may probe a few points between consecutive gradient
+// calls (Armijo expansion keeps going past the accepted point), so a
+// last-point cache alone misses some objective/gradient pairs; a handful of
+// entries covers the expansion window.
+const eigCacheSize = 4
+
+type eigResult struct {
+	lamMin, lamMax float64
+	vMin, vMax     []float64
+}
+
+// eigEvaluator computes extreme Hessian eigenpairs with a small keyed memo
+// so the objective and gradient closures of one optimization task share
+// eigendecompositions instead of recomputing them at the same point (the
+// optimizer evaluates f and ∇f back-to-back at identical points). Every task
+// owns a private evaluator — no locks, no shared scratch, no data races.
+type eigEvaluator struct {
+	f      *Function
+	eigsAt func(x []float64) (float64, float64, []float64, []float64, error)
+	memo   bool
+
+	keys [eigCacheSize][]float64
+	vals [eigCacheSize]eigResult
+	n    int // valid entries
+	next int // ring write position
+
+	err error // first eigensolver failure, sticky
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seed pre-populates the memo with a known eigenpair (typically at x0, which
+// both searches evaluate first).
+func (e *eigEvaluator) seed(x []float64, r eigResult) {
+	if !e.memo {
+		return
+	}
+	e.store(x, r)
+}
+
+func (e *eigEvaluator) store(x []float64, r eigResult) {
+	if e.keys[e.next] == nil {
+		e.keys[e.next] = make([]float64, len(x))
+	}
+	copy(e.keys[e.next], x)
+	e.vals[e.next] = r
+	e.next = (e.next + 1) % eigCacheSize
+	if e.n < eigCacheSize {
+		e.n++
+	}
+}
+
+// at returns the extreme eigenpairs of H(x), from the memo when possible.
+// On solver failure it records the first error and reports ok=false; the
+// closures then degrade exactly like the pre-memo implementation (+Inf
+// objective, zero gradient) and the caller surfaces e.err afterwards.
+func (e *eigEvaluator) at(x []float64) (eigResult, bool) {
+	if e.memo {
+		for i := 0; i < e.n; i++ {
+			if floatsEqual(e.keys[i], x) {
+				return e.vals[i], true
+			}
+		}
+	}
+	lamMin, lamMax, vMin, vMax, err := e.eigsAt(x)
+	if err != nil {
+		if e.err == nil {
+			e.err = err
+		}
+		return eigResult{}, false
+	}
+	r := eigResult{lamMin: lamMin, lamMax: lamMax, vMin: vMin, vMax: vMax}
+	if e.memo {
+		e.store(x, r)
+	}
+	return r, true
+}
+
+func (e *eigEvaluator) minObjective(x []float64) float64 {
+	r, ok := e.at(x)
+	if !ok {
+		return math.Inf(1)
+	}
+	return r.lamMin
+}
+
+func (e *eigEvaluator) minGradient(x, g []float64) {
+	r, ok := e.at(x)
+	if !ok {
+		for i := range g {
+			g[i] = 0
+		}
+		return
+	}
+	e.f.EigGrad(x, r.vMin, g)
+}
+
+func (e *eigEvaluator) maxObjective(x []float64) float64 {
+	r, ok := e.at(x)
+	if !ok {
+		return math.Inf(1)
+	}
+	return -r.lamMax
+}
+
+func (e *eigEvaluator) maxGradient(x, g []float64) {
+	r, ok := e.at(x)
+	if !ok {
+		for i := range g {
+			g[i] = 0
+		}
+		return
+	}
+	e.f.EigGrad(x, r.vMax, g)
+	for i := range g {
+		g[i] = -g[i]
+	}
+}
+
 // ExtremeEigsOverBox solves the two §3.1 optimization problems
 //
 //	λ̂min = min_{x∈B} λmin(H(x)),   λ̂max = max_{x∈B} λmax(H(x))
@@ -81,92 +248,133 @@ func DecomposeE(f *Function, x0 []float64) (*EDecomposition, error) {
 // using projected L-BFGS with the analytic Hellmann–Feynman gradient and
 // multi-start. Like the SciPy solver in the paper, it may return local
 // optima; the protocol's sanity check (§3.7) guards against that.
+//
+// All 2·OptStarts searches run on a worker pool bounded by opts.Workers,
+// each with a private eigensolve memo. Start points are pre-drawn from Seed
+// in the order the sequential implementation consumed them and the best
+// result per search is picked in start order, so the returned bounds are
+// bit-identical at every worker count.
 func ExtremeEigsOverBox(f *Function, x0, lo, hi []float64, opts DecompOptions) (lamMin, lamMax float64, err error) {
 	opts.defaults()
-	d := f.Dim()
+	return extremeEigsOverBox(f, x0, lo, hi, opts, nil)
+}
+
+func extremeEigsOverBox(f *Function, x0, lo, hi []float64, opts DecompOptions, seedAtX0 *eigResult) (lamMin, lamMax float64, err error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	eigsAt := eigsAtFunc(f, opts)
+	nStarts := opts.OptStarts
 
-	eigsAt := f.ExtremeEigsAt
-	if opts.UsePowerIteration {
-		iters := opts.PowerIters
-		if iters <= 0 {
-			iters = 100
-		}
-		eigsAt = func(x []float64) (float64, float64, []float64, []float64, error) {
-			return f.ExtremeEigsAtPower(x, iters, opts.Seed+2)
-		}
-	}
-
-	grad := make([]float64, d)
-	var evalErr error
-	minObjective := func(x []float64) float64 {
-		lm, _, _, _, e := eigsAt(x)
-		if e != nil {
-			evalErr = e
-			return math.Inf(1)
-		}
-		return lm
-	}
-	minGradient := func(x, g []float64) {
-		_, _, vMin, _, e := eigsAt(x)
-		if e != nil {
-			evalErr = e
-			for i := range g {
-				g[i] = 0
+	// Pre-draw the multi-start points in the legacy order (min-search extras
+	// first, then max-search extras) so the rng stream — and therefore every
+	// result — matches the sequential implementation for a fixed Seed.
+	drawExtras := func() [][]float64 {
+		pts := make([][]float64, 0, nStarts)
+		pts = append(pts, linalg.Clone(x0))
+		for s := 1; s < nStarts; s++ {
+			pt := make([]float64, len(x0))
+			for i := range pt {
+				pt[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
 			}
-			return
+			pts = append(pts, pt)
 		}
-		f.EigGrad(x, vMin, grad)
-		copy(g, grad)
+		return pts
 	}
-	maxObjective := func(x []float64) float64 {
-		_, lM, _, _, e := eigsAt(x)
-		if e != nil {
-			evalErr = e
-			return math.Inf(1)
-		}
-		return -lM
-	}
-	maxGradient := func(x, g []float64) {
-		_, _, _, vMax, e := eigsAt(x)
-		if e != nil {
-			evalErr = e
-			for i := range g {
-				g[i] = 0
-			}
-			return
-		}
-		f.EigGrad(x, vMax, grad)
-		for i := range g {
-			g[i] = -grad[i]
-		}
-	}
+	minStarts := drawExtras()
+	maxStarts := drawExtras()
 
 	optOpts := optimize.Options{
 		MaxIter:   opts.OptMaxIter,
 		MaxFunEva: opts.OptMaxFunEvals,
 		GradTol:   1e-5,
 	}
-	optOpts.Gradient = minGradient
-	rMin, err := optimize.MultiStart(minObjective, x0, lo, hi, opts.OptStarts, rng, optOpts)
+	evals := make([]*eigEvaluator, 0, 2*nStarts)
+	tasks := make([]optimize.Task, 0, 2*nStarts)
+	addTask := func(start []float64, min bool) {
+		ev := &eigEvaluator{f: f, eigsAt: eigsAt, memo: !opts.DisableEvalMemo}
+		if seedAtX0 != nil {
+			ev.seed(x0, *seedAtX0)
+		}
+		t := optimize.Task{X0: start, Opts: optOpts}
+		if min {
+			t.F = ev.minObjective
+			t.Opts.Gradient = ev.minGradient
+		} else {
+			t.F = ev.maxObjective
+			t.Opts.Gradient = ev.maxGradient
+		}
+		evals = append(evals, ev)
+		tasks = append(tasks, t)
+	}
+	for _, start := range minStarts {
+		addTask(start, true)
+	}
+	for _, start := range maxStarts {
+		addTask(start, false)
+	}
+
+	results, err := optimize.RunConcurrent(tasks, lo, hi, opts.Workers)
 	if err != nil {
 		return 0, 0, err
 	}
-	optOpts.Gradient = maxGradient
-	rMax, err := optimize.MultiStart(maxObjective, x0, lo, hi, opts.OptStarts, rng, optOpts)
-	if err != nil {
-		return 0, 0, err
+	for _, ev := range evals {
+		if ev.err != nil {
+			return 0, 0, ev.err
+		}
 	}
-	if evalErr != nil {
-		return 0, 0, evalErr
+	// Best per search by strict improvement in start order, replicating the
+	// sequential MultiStart tie-breaking (earliest start wins ties).
+	bestMin := results[0].F
+	for i := 1; i < nStarts; i++ {
+		if results[i].F < bestMin {
+			bestMin = results[i].F
+		}
 	}
-	return rMin.F, -rMax.F, nil
+	bestMax := results[nStarts].F
+	for i := nStarts + 1; i < 2*nStarts; i++ {
+		if results[i].F < bestMax {
+			bestMax = results[i].F
+		}
+	}
+	return bestMin, -bestMax, nil
 }
 
-// BuildZoneX derives an ADCD-X safe zone around x0 with thresholds L, U and
-// neighborhood box [bLo, bHi] (already intersected with the domain).
-func BuildZoneX(f *Function, x0 []float64, l, u float64, bLo, bHi []float64, opts DecompOptions) (*SafeZone, error) {
-	lamMin, lamMax, err := ExtremeEigsOverBox(f, x0, bLo, bHi, opts)
+// XDecomposition holds the reusable artifacts of one ADCD-X decomposition:
+// the Lemma-1 curvature bounds over B and the H(x0) extreme eigenvalues
+// driving the §3.4 DC heuristic. Reference-point data (f0, ∇f0) and the
+// thresholds are deliberately not part of it: a cached XDecomposition may be
+// reused for a nearby (x0, r) zone, but those are always rebuilt exactly.
+type XDecomposition struct {
+	LamAbsNeg float64 // |λ⁻min| over B (Lemma 1)
+	LamPosMax float64 // λ⁺max over B (Lemma 1)
+	H0Min     float64 // λmin(H(x0)), §3.4 heuristic input
+	H0Max     float64 // λmax(H(x0)), §3.4 heuristic input
+}
+
+// DecomposeX runs the ADCD-X eigenvalue search over [bLo, bHi] and returns
+// the decomposition artifacts. The eigensolve at x0 is computed once and
+// shared: it seeds every search task's memo (both searches evaluate x0
+// first) and, on the dense path, doubles as the H(x0) spectrum for the DC
+// heuristic — the sequential implementation solved each of those separately.
+func DecomposeX(f *Function, x0, bLo, bHi []float64, opts DecompOptions) (*XDecomposition, error) {
+	opts.defaults()
+	eigsAt := eigsAtFunc(f, opts)
+	lm0, lM0, vMin0, vMax0, err := eigsAt(x0)
+	if err != nil {
+		return nil, err
+	}
+	seed := &eigResult{lamMin: lm0, lamMax: lM0, vMin: vMin0, vMax: vMax0}
+	h0Min, h0Max := lm0, lM0
+	if opts.UsePowerIteration {
+		// The searches use the power-iteration estimates, but the heuristic
+		// keeps the exact H(x0) spectrum so the chosen DC kind matches the
+		// dense path (one extra dense solve, as before this refactor).
+		opts.EigsolveCounter.Inc()
+		h0Min, h0Max, _, _, err = f.ExtremeEigsAt(x0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	lamMin, lamMax, err := extremeEigsOverBox(f, x0, bLo, bHi, opts, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -175,15 +383,20 @@ func BuildZoneX(f *Function, x0 []float64, l, u float64, bLo, bHi []float64, opt
 	if lamMin < 0 {
 		lamAbsNeg = -lamMin
 	}
-	lamPosMax := math.Max(0, lamMax)
+	return &XDecomposition{
+		LamAbsNeg: lamAbsNeg,
+		LamPosMax: math.Max(0, lamMax),
+		H0Min:     h0Min,
+		H0Max:     h0Max,
+	}, nil
+}
 
-	// Eigenvalues of H(x0) for the DC heuristic.
-	h0Min, h0Max, _, _, err := f.ExtremeEigsAt(x0)
-	if err != nil {
-		return nil, err
-	}
-	kind := chooseKindX(h0Min, h0Max, lamAbsNeg, lamPosMax)
-
+// BuildZoneXFrom assembles an ADCD-X safe zone around x0 with thresholds
+// L, U and neighborhood box [bLo, bHi] from precomputed decomposition
+// artifacts. f0 and ∇f0 are evaluated fresh at x0, so a dec reused from the
+// coordinator's zone cache still yields exact reference-point data.
+func BuildZoneXFrom(f *Function, x0 []float64, l, u float64, bLo, bHi []float64, dec *XDecomposition) *SafeZone {
+	kind := chooseKindX(dec.H0Min, dec.H0Max, dec.LamAbsNeg, dec.LamPosMax)
 	grad := make([]float64, f.Dim())
 	f0 := f.Grad(x0, grad)
 	z := &SafeZone{
@@ -198,11 +411,21 @@ func BuildZoneX(f *Function, x0 []float64, l, u float64, bLo, bHi []float64, opt
 		BHi:    linalg.Clone(bHi),
 	}
 	if kind == ConvexDiff {
-		z.Lam = lamAbsNeg
+		z.Lam = dec.LamAbsNeg
 	} else {
-		z.Lam = lamPosMax
+		z.Lam = dec.LamPosMax
 	}
-	return z, nil
+	return z
+}
+
+// BuildZoneX derives an ADCD-X safe zone around x0 with thresholds L, U and
+// neighborhood box [bLo, bHi] (already intersected with the domain).
+func BuildZoneX(f *Function, x0 []float64, l, u float64, bLo, bHi []float64, opts DecompOptions) (*SafeZone, error) {
+	dec, err := DecomposeX(f, x0, bLo, bHi, opts)
+	if err != nil {
+		return nil, err
+	}
+	return BuildZoneXFrom(f, x0, l, u, bLo, bHi, dec), nil
 }
 
 // BuildZoneE derives an ADCD-E safe zone around x0 from a precomputed

@@ -39,6 +39,11 @@ type Function struct {
 
 	tangentOnce sync.Once
 	tangent     *autodiff.Graph
+
+	// eigScratch pools the 2d-length buffers used by EigGrad so repeated
+	// eigenvalue-gradient evaluations during decomposition allocate nothing.
+	// Stores *[]float64 to avoid interface boxing on Put.
+	eigScratch sync.Pool
 }
 
 // NewFunction compiles program into a monitored function of dimension dim.
@@ -120,12 +125,19 @@ func (f *Function) ExtremeEigsAtPower(x []float64, iters int, seed int64) (lamMi
 func (f *Function) EigGrad(x, v, out []float64) {
 	d := f.Dim()
 	tg := f.tangentGraph()
-	in := make([]float64, 2*d)
-	dir := make([]float64, 2*d)
-	full := make([]float64, 2*d)
+	buf, _ := f.eigScratch.Get().(*[]float64)
+	if buf == nil {
+		s := make([]float64, 6*d)
+		buf = &s
+	}
+	in, dir, full := (*buf)[:2*d], (*buf)[2*d:4*d], (*buf)[4*d:6*d]
 	copy(in[:d], x)
 	copy(in[d:], v)
 	copy(dir[:d], v)
+	for i := range dir[d:] {
+		dir[d+i] = 0
+	}
 	tg.HVP(in, dir, full)
 	copy(out, full[:d])
+	f.eigScratch.Put(buf)
 }

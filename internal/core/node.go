@@ -16,6 +16,7 @@ type Node struct {
 	x     []float64 // current raw local vector
 	slack []float64
 	v     []float64 // scratch: slacked vector x + s
+	diff  []float64 // scratch for the ADCD-E safe-zone check
 
 	zone     *SafeZone
 	haveZone bool
@@ -34,6 +35,7 @@ func NewNode(id int, f *Function) *Node {
 		x:     make([]float64, d),
 		slack: make([]float64, d),
 		v:     make([]float64, d),
+		diff:  make([]float64, d),
 	}
 }
 
@@ -66,7 +68,7 @@ func (n *Node) Check() *Violation {
 	if !z.InNeighborhood(n.v) {
 		return &Violation{NodeID: n.ID, Kind: ViolationNeighborhood, X: n.LocalVector()}
 	}
-	if !z.Contains(n.F, n.v) {
+	if !z.ContainsScratch(n.F, n.v, n.diff) {
 		return &Violation{NodeID: n.ID, Kind: ViolationSafeZone, X: n.LocalVector()}
 	}
 	if z.Method != MethodNone && !z.InAdmissibleRegion(n.F, n.v) {

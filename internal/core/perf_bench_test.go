@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"automon/internal/autodiff"
+)
+
+// benchCubic is a d-dimensional function with a genuinely x-dependent
+// Hessian (cubic + cross terms), so ADCD-X must run the full eigenvalue
+// search over the neighborhood box.
+func benchCubic(d int) *Function {
+	return NewFunction("bench-cubic", d, func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref {
+		acc := b.Square(x[0])
+		for i := 0; i < d; i++ {
+			acc = b.Add(acc, b.Powi(x[i], 3))
+			acc = b.Add(acc, b.Mul(x[i], b.Square(x[(i+1)%d])))
+		}
+		return acc
+	})
+}
+
+// benchBilinear is a d-dimensional constant-Hessian function (inner-product
+// style), the ADCD-E path.
+func benchBilinear(d int) *Function {
+	return NewFunction("bench-bilinear", d, func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref {
+		acc := b.Mul(x[0], x[1])
+		for i := 1; i+1 < d; i++ {
+			acc = b.Add(acc, b.Mul(x[i], x[i+1]))
+		}
+		return acc
+	})
+}
+
+// benchZoneX builds a small ADCD-X zone around the origin-ish point.
+func benchZoneX(b *testing.B, f *Function, x0 []float64, r float64) *SafeZone {
+	b.Helper()
+	grad := make([]float64, f.Dim())
+	f0 := f.Grad(x0, grad)
+	bLo, bHi := NeighborhoodBox(f, x0, r)
+	zone, err := BuildZoneX(f, x0, f0-1, f0+1, bLo, bHi, DecompOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return zone
+}
+
+func BenchmarkSafeZoneCheckX(b *testing.B) {
+	const d = 12
+	f := benchCubic(d)
+	x0 := make([]float64, d)
+	for i := range x0 {
+		x0[i] = 0.1 * float64(i%3)
+	}
+	zone := benchZoneX(b, f, x0, 0.5)
+	node := NewNode(0, f)
+	node.ApplySync(&Sync{NodeID: 0, Method: zone.Method, Kind: zone.Kind,
+		X0: zone.X0, F0: zone.F0, GradF0: zone.GradF0, L: zone.L, U: zone.U,
+		Lam: zone.Lam, R: 0.5, Slack: make([]float64, d)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := node.UpdateData(x0); v != nil {
+			b.Fatalf("unexpected violation: %+v", v)
+		}
+	}
+}
+
+func BenchmarkSafeZoneCheckE(b *testing.B) {
+	const d = 12
+	f := benchBilinear(d)
+	x0 := make([]float64, d)
+	for i := range x0 {
+		x0[i] = 0.2
+	}
+	dec, err := DecomposeE(f, x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	zone := BuildZoneE(f, dec, x0, zoneVal(f, x0)-1, zoneVal(f, x0)+1)
+	node := NewNode(0, f)
+	m := &Sync{NodeID: 0, Method: zone.Method, Kind: zone.Kind,
+		X0: zone.X0, F0: zone.F0, GradF0: zone.GradF0, L: zone.L, U: zone.U,
+		Slack: make([]float64, d), WithMatrix: true}
+	if zone.Kind == ConvexDiff {
+		m.Matrix = zone.HMinus
+	} else {
+		m.Matrix = zone.HPlus
+	}
+	node.ApplySync(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := node.UpdateData(x0); v != nil {
+			b.Fatalf("unexpected violation: %+v", v)
+		}
+	}
+}
+
+func zoneVal(f *Function, x []float64) float64 { return f.Value(x) }
+
+func BenchmarkExtremeEigsOverBox(b *testing.B) {
+	const d = 8
+	f := benchCubic(d)
+	x0 := make([]float64, d)
+	bLo, bHi := NeighborhoodBox(f, x0, 0.5)
+	for _, bc := range []struct {
+		name string
+		opts DecompOptions
+	}{
+		{"memo", DecompOptions{Seed: 1}},
+		{"nomemo", DecompOptions{Seed: 1, DisableEvalMemo: true}},
+		{"memo-parallel", DecompOptions{Seed: 1, Workers: 0}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ExtremeEigsOverBox(f, x0, bLo, bHi, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildZoneX(b *testing.B) {
+	const d = 8
+	f := benchCubic(d)
+	x0 := make([]float64, d)
+	grad := make([]float64, d)
+	f0 := f.Grad(x0, grad)
+	bLo, bHi := NeighborhoodBox(f, x0, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildZoneX(f, x0, f0-1, f0+1, bLo, bHi, DecompOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTune(b *testing.B) {
+	f := rosenbrockFunc()
+	data := rosenbrockData(rand.New(rand.NewSource(41)), 80, 4)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 0},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := Config{Epsilon: 0.25, Decomp: DecompOptions{Seed: 2}, TuneWorkers: bc.workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Tune(f, data, 4, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

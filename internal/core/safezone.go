@@ -99,6 +99,14 @@ func (z *SafeZone) InNeighborhood(v []float64) bool {
 // simplified forms). The caller is responsible for checking InNeighborhood
 // first; Contains itself does not require v ∈ B.
 func (z *SafeZone) Contains(f *Function, v []float64) bool {
+	return z.ContainsScratch(f, v, nil)
+}
+
+// ContainsScratch is Contains with caller-provided scratch: when diff is
+// non-nil and len(diff) == len(v) the ADCD-E path uses it instead of
+// allocating, making the per-update check allocation-free. diff is
+// overwritten; it must not alias v or z.X0.
+func (z *SafeZone) ContainsScratch(f *Function, v, diff []float64) bool {
 	if z.Custom != nil {
 		return z.Custom(f, v)
 	}
@@ -110,7 +118,9 @@ func (z *SafeZone) Contains(f *Function, v []float64) bool {
 		q := 0.5 * z.Lam * linalg.SqDist(v, z.X0)
 		return z.containsWithQuadratic(f, v, q)
 	case MethodE:
-		diff := make([]float64, len(v))
+		if len(diff) != len(v) {
+			diff = make([]float64, len(v))
+		}
 		linalg.Sub(diff, v, z.X0)
 		// The helper expects q with g = f+q, ȟ = q (convex kind) or
 		// ĝ = f−q, ĥ = −q (concave kind). From Lemma 2:

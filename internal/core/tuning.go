@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // TuningData is a replayable prefix of the monitoring task: per round, the
@@ -135,6 +136,9 @@ func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
 		c.Tracer = nil
 		return Replay(f, data, n, c)
 	}
+	if cfg.TuneWorkers > 1 {
+		return tuneWithWorkers(replay, cfg.TuneWorkers)
+	}
 	return tuneWith(replay)
 }
 
@@ -219,6 +223,155 @@ func tuneWith(replay func(r float64) (ReplayCounts, error)) (TuneResult, error) 
 		if err != nil {
 			return res, err
 		}
+		res.GridR = append(res.GridR, r)
+		res.GridCounts = append(res.GridCounts, counts)
+		if counts.Total() < bestCounts.Total() {
+			bestCounts = counts
+			bestR = r
+		}
+	}
+	res.R = bestR
+	res.Counts = bestCounts
+	if !res.LoConverged && !res.HiConverged {
+		return res, ErrBracketNotConverged
+	}
+	return res, nil
+}
+
+// tuneWithWorkers is tuneWith with speculative parallel replays. Each phase
+// of Algorithm 2 probes a radius sequence known in advance (halvings,
+// doublings, the grid), so the search evaluates them in waves of `workers`
+// concurrent replays and then scans the results in sequence order. The
+// scan applies exactly the sequential stopping rules, so R, Lo, Hi, the
+// grid, and the convergence flags are identical to tuneWith for the same
+// replay primitive; only Replays can be larger, counting the speculative
+// probes past each phase's stopping point.
+func tuneWithWorkers(replay func(r float64) (ReplayCounts, error), workers int) (TuneResult, error) {
+	const maxHalvings = 20
+	res := TuneResult{}
+	memo := make(map[float64]ReplayCounts)
+
+	// runBatch replays every radius in rs not yet memoized, at most workers
+	// at a time, and surfaces the error of the lowest-index failure — what a
+	// sequential loop over rs would have returned first. The memo is only
+	// touched after the batch fully drains, so it needs no lock.
+	runBatch := func(rs []float64) error {
+		todo := make([]float64, 0, len(rs))
+		seen := make(map[float64]bool, len(rs))
+		for _, r := range rs {
+			if _, ok := memo[r]; !ok && !seen[r] {
+				todo = append(todo, r)
+				seen[r] = true
+			}
+		}
+		if len(todo) == 0 {
+			return nil
+		}
+		counts := make([]ReplayCounts, len(todo))
+		errs := make([]error, len(todo))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, r := range todo {
+			wg.Add(1)
+			go func(i int, r float64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				counts[i], errs[i] = replay(r)
+			}(i, r)
+		}
+		wg.Wait()
+		for i, r := range todo {
+			if errs[i] != nil {
+				return errs[i]
+			}
+			res.Replays++
+			memo[r] = counts[i]
+		}
+		return nil
+	}
+
+	// scan batches seq in waves and returns the first radius satisfying
+	// done, mirroring a sequential walk of seq with early exit.
+	scan := func(seq []float64, done func(ReplayCounts) bool) (float64, bool, error) {
+		for w := 0; w < len(seq); w += workers {
+			end := min(w+workers, len(seq))
+			if err := runBatch(seq[w:end]); err != nil {
+				return 0, false, err
+			}
+			for _, r := range seq[w:end] {
+				if done(memo[r]) {
+					return r, true, nil
+				}
+			}
+		}
+		return 0, false, nil
+	}
+
+	// Phase 1: find b with neighborhood violations, starting from 1. When no
+	// candidate triggers, the sequential loop leaves b one halving past the
+	// last (never-replayed) candidate.
+	bs := make([]float64, maxHalvings)
+	v := 1.0
+	for i := range bs {
+		bs[i] = v
+		v /= 2
+	}
+	b := v
+	if r, ok, err := scan(bs, func(c ReplayCounts) bool { return c.Neighborhood > 0 }); err != nil {
+		return res, err
+	} else if ok {
+		b = r
+	}
+
+	// Phase 2: push lo down until safe-zone violations vanish, hi up until
+	// neighborhood violations vanish. The sequential loops skip the final
+	// halving/doubling, so an unconverged end stops at b·2^∓(maxHalvings−1).
+	lo, hi := b, b
+	los := make([]float64, maxHalvings)
+	his := make([]float64, maxHalvings)
+	vLo, vHi := b, b
+	for i := 0; i < maxHalvings; i++ {
+		los[i], his[i] = vLo, vHi
+		vLo /= 2
+		vHi *= 2
+	}
+	if r, ok, err := scan(los, func(c ReplayCounts) bool { return c.SafeZone == 0 }); err != nil {
+		return res, err
+	} else if ok {
+		lo = r
+		res.LoConverged = true
+	} else {
+		lo = los[maxHalvings-1]
+	}
+	if r, ok, err := scan(his, func(c ReplayCounts) bool { return c.Neighborhood == 0 }); err != nil {
+		return res, err
+	} else if ok {
+		hi = r
+		res.HiConverged = true
+	} else {
+		hi = his[maxHalvings-1]
+	}
+
+	// Phase 3: grid search for the minimum total violations, all points in
+	// one batch.
+	res.Lo, res.Hi = lo, hi
+	const gridSize = 10
+	grid := make([]float64, 0, gridSize)
+	for i := 0; i < gridSize; i++ {
+		r := lo + (hi-lo)*float64(i)/float64(gridSize-1)
+		if r <= 0 {
+			continue
+		}
+		grid = append(grid, r)
+	}
+	if err := runBatch(grid); err != nil {
+		return res, err
+	}
+	bestR := lo
+	bestCounts := ReplayCounts{Neighborhood: 1 << 30}
+	for _, r := range grid {
+		counts := memo[r]
 		res.GridR = append(res.GridR, r)
 		res.GridCounts = append(res.GridCounts, counts)
 		if counts.Total() < bestCounts.Total() {

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"strconv"
+)
+
+// DefaultZoneCacheQuantum is the grid size used to quantize (x0, r) for
+// decomposition-cache keys when Config.ZoneCacheQuantum is zero.
+const DefaultZoneCacheQuantum = 1e-2
+
+// zoneCache is a small LRU of ADCD-X decomposition artifacts keyed by the
+// quantized (x0, r) of a full sync. Reusing an entry skips the eigenvalue
+// search; the quantization means the cached Lemma-1 bounds were computed for
+// a reference point up to one quantum away, which the protocol tolerates the
+// same way it tolerates the optimizer's local optima: the §3.7 sanity check
+// turns any resulting unsound zone into a Faulty violation and a fresh full
+// sync. Thresholds, f0 and ∇f0 are never cached — BuildZoneXFrom recomputes
+// them exactly for the true x0.
+//
+// The cache is used only from the coordinator's single-threaded sync path,
+// so it needs no locking.
+type zoneCache struct {
+	cap  int
+	keys []string // LRU order: least recently used first
+	vals map[string]*XDecomposition
+}
+
+func newZoneCache(capacity int) *zoneCache {
+	return &zoneCache{cap: capacity, vals: make(map[string]*XDecomposition, capacity)}
+}
+
+// quantizeKey maps (x0, r) onto a grid of pitch q and renders the grid
+// coordinates as the cache key.
+func quantizeKey(x0 []float64, r, q float64) string {
+	b := make([]byte, 0, 16*(len(x0)+1))
+	b = strconv.AppendInt(b, int64(math.Round(r/q)), 10)
+	for _, v := range x0 {
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(math.Round(v/q)), 10)
+	}
+	return string(b)
+}
+
+func (zc *zoneCache) get(key string) (*XDecomposition, bool) {
+	dec, ok := zc.vals[key]
+	if ok {
+		zc.touch(key)
+	}
+	return dec, ok
+}
+
+func (zc *zoneCache) put(key string, dec *XDecomposition) {
+	if _, ok := zc.vals[key]; ok {
+		zc.vals[key] = dec
+		zc.touch(key)
+		return
+	}
+	if len(zc.keys) >= zc.cap {
+		evict := zc.keys[0]
+		zc.keys = zc.keys[1:]
+		delete(zc.vals, evict)
+	}
+	zc.keys = append(zc.keys, key)
+	zc.vals[key] = dec
+}
+
+func (zc *zoneCache) touch(key string) {
+	for i, k := range zc.keys {
+		if k == key {
+			copy(zc.keys[i:], zc.keys[i+1:])
+			zc.keys[len(zc.keys)-1] = key
+			return
+		}
+	}
+}

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strconv"
+	"sync"
 
 	"automon/internal/core"
 	"automon/internal/funcs"
@@ -37,6 +39,58 @@ type Options struct {
 	// per-run metric registry snapshot) for every simulated run the suite
 	// executes; automon-bench serializes it with -telemetry.
 	Telemetry *Telemetry
+	// Workers bounds the goroutines running independent runs inside each
+	// figure sweep, and is forwarded to the core layer as Config.TuneWorkers.
+	// 0 means one worker per core (GOMAXPROCS); 1 disables sweep
+	// parallelism. Sweeps deposit results into index-addressed slots and the
+	// core layers are deterministic at any worker count, so the tables are
+	// identical regardless of Workers.
+	Workers int
+}
+
+// forEach runs fn(0), …, fn(n−1) on up to `workers` goroutines (0 means
+// GOMAXPROCS, 1 runs inline) and returns the error of the lowest failing
+// index — the one a sequential loop would have surfaced first. fn must write
+// its outputs into index-addressed slots; callers then emit table rows in
+// index order so the rendered CSV is independent of scheduling.
+func forEach(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (o Options) rounds(full int) int {
@@ -116,6 +170,18 @@ type Workload struct {
 	// tel, when non-nil, records a RunSnapshot per run (set by the workload
 	// constructors from Options.Telemetry).
 	tel *Telemetry
+	// workers is Options.Workers, forwarded by the constructors so run can
+	// hand it to the core layer as TuneWorkers.
+	workers int
+}
+
+// tuneWorkers translates the sweep-level worker knob into the core's
+// TuneWorkers convention (0 and 1 both mean sequential there).
+func (w *Workload) tuneWorkers() int {
+	if w.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w.workers
 }
 
 // run executes one monitored configuration. When telemetry is enabled the
@@ -133,9 +199,10 @@ func (w *Workload) run(alg sim.Algorithm, eps float64, period int, trace bool) (
 		Period:    period,
 		Trace:     trace,
 		Core: core.Config{
-			Epsilon: eps,
-			R:       w.FixedR,
-			Decomp:  w.Decomp,
+			Epsilon:     eps,
+			R:           w.FixedR,
+			Decomp:      w.Decomp,
+			TuneWorkers: w.tuneWorkers(),
 		},
 		TuneRounds: w.TuneRounds,
 		Metrics:    reg,
@@ -151,10 +218,11 @@ func (w *Workload) run(alg sim.Algorithm, eps float64, period int, trace bool) (
 func InnerProductWorkload(o Options, d, nodes int) *Workload {
 	half := d / 2
 	return &Workload{
-		Name: "inner-product",
-		tel:  o.Telemetry,
-		F:    funcs.InnerProduct(half),
-		Data: stream.InnerProductPhases(half, nodes, o.rounds(1000), o.Seed+1),
+		Name:    "inner-product",
+		tel:     o.Telemetry,
+		workers: o.Workers,
+		F:       funcs.InnerProduct(half),
+		Data:    stream.InnerProductPhases(half, nodes, o.rounds(1000), o.Seed+1),
 	}
 }
 
@@ -162,10 +230,11 @@ func InnerProductWorkload(o Options, d, nodes int) *Workload {
 // outlier node).
 func QuadraticWorkload(o Options, d, nodes int) *Workload {
 	return &Workload{
-		Name: "quadratic",
-		tel:  o.Telemetry,
-		F:    funcs.RandomQuadratic(d, o.Seed+2),
-		Data: stream.QuadraticOutlier(d, nodes, o.rounds(1000), o.Seed+3),
+		Name:    "quadratic",
+		tel:     o.Telemetry,
+		workers: o.Workers,
+		F:       funcs.RandomQuadratic(d, o.Seed+2),
+		Data:    stream.QuadraticOutlier(d, nodes, o.rounds(1000), o.Seed+3),
 	}
 }
 
@@ -177,6 +246,7 @@ func KLDWorkload(o Options, d, nodes, rounds int) *Workload {
 	return &Workload{
 		Name:       "kld",
 		tel:        o.Telemetry,
+		workers:    o.Workers,
 		F:          funcs.KLD(bins, tau),
 		Data:       stream.NewAirQuality(nodes, bins, o.rounds(rounds), o.Seed+4),
 		TuneRounds: o.rounds(200),
@@ -193,6 +263,7 @@ func MLPWorkload(o Options, d, nodes int) (*Workload, error) {
 	return &Workload{
 		Name:       fmt.Sprintf("mlp-%d", d),
 		tel:        o.Telemetry,
+		workers:    o.Workers,
 		F:          f,
 		Data:       stream.MLPDrift(d, nodes, o.rounds(1000), o.Seed+6),
 		TuneRounds: o.rounds(200),
@@ -235,11 +306,12 @@ func DNNWorkload(o Options) (*Workload, error) {
 		return nil, err
 	}
 	w := &Workload{
-		Name:   "dnn-intrusion",
-		tel:    o.Telemetry,
-		F:      funcs.Network("dnn-intrusion", net),
-		Data:   in.Dataset,
-		Decomp: core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 8, OptMaxFunEvals: 40},
+		Name:    "dnn-intrusion",
+		tel:     o.Telemetry,
+		workers: o.Workers,
+		F:       funcs.Network("dnn-intrusion", net),
+		Data:    in.Dataset,
+		Decomp:  core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 8, OptMaxFunEvals: 40},
 	}
 	if o.Quick {
 		w.FixedR = 0.08 // one-time offline tune; see EXPERIMENTS.md
@@ -252,10 +324,11 @@ func DNNWorkload(o Options) (*Workload, error) {
 // RosenbrockWorkload is the §3.6/§4.5 tuning setup: inputs N(0, 0.2²).
 func RosenbrockWorkload(o Options, nodes, rounds int) *Workload {
 	return &Workload{
-		Name:   "rosenbrock",
-		tel:    o.Telemetry,
-		F:      funcs.Rosenbrock(),
-		Data:   stream.GaussianNoise(2, nodes, o.rounds(rounds), 0, 0.2, o.Seed+9),
-		Decomp: core.DecompOptions{Seed: o.Seed},
+		Name:    "rosenbrock",
+		tel:     o.Telemetry,
+		workers: o.Workers,
+		F:       funcs.Rosenbrock(),
+		Data:    stream.GaussianNoise(2, nodes, o.rounds(rounds), 0, 0.2, o.Seed+9),
+		Decomp:  core.DecompOptions{Seed: o.Seed},
 	}
 }

@@ -75,15 +75,21 @@ func Fig3NeighborhoodSweep(o Options) (*Table, error) {
 			r      float64
 			counts core.ReplayCounts
 		}
-		var pts []pt
-		for _, r := range rs {
+		// Each radius is an independent replay; fan them across the worker
+		// pool and keep the results slot-addressed so rows stay in r order.
+		pts := make([]pt, len(rs))
+		err := forEach(o.Workers, len(rs), func(i int) error {
 			counts, err := core.Replay(w.F, data, w.Data.Nodes, core.Config{
-				Epsilon: eps, R: r, Decomp: w.Decomp,
+				Epsilon: eps, R: rs[i], Decomp: w.Decomp,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			pts = append(pts, pt{r, counts})
+			pts[i] = pt{rs[i], counts}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		best := 0
 		for i, p := range pts {

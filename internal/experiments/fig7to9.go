@@ -17,30 +17,48 @@ func Fig7aDimensions(o Options) (*Table, error) {
 		dims = []int{10, 20, 40, 100}
 	}
 	const nodes = 12
+	// Every (dimension, function) cell is an independent pair of runs; fan
+	// the cells across the worker pool and emit rows in cell order.
+	type cell struct {
+		name string
+		eps  float64
+		make func() (*Workload, error)
+	}
+	var cells []cell
 	for _, d := range dims {
-		for _, mk := range []struct {
-			name string
-			eps  float64
-			make func() (*Workload, error)
-		}{
-			{"inner-product", 0.2, func() (*Workload, error) { return InnerProductWorkload(o, d, nodes), nil }},
-			{"kld", 0.02, func() (*Workload, error) { return KLDWorkload(o, d, nodes, 1000), nil }},
-			{"mlp-d", 0.2, func() (*Workload, error) { return MLPWorkload(o, d, nodes) }},
-		} {
-			w, err := mk.make()
-			if err != nil {
-				return nil, err
-			}
-			res, err := w.run(sim.AutoMon, mk.eps, 0, false)
-			if err != nil {
-				return nil, err
-			}
-			central, err := w.run(sim.Centralization, mk.eps, 0, false)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(mk.name, d, res.Messages, res.MaxErr, central.Messages)
+		d := d
+		cells = append(cells,
+			cell{"inner-product", 0.2, func() (*Workload, error) { return InnerProductWorkload(o, d, nodes), nil }},
+			cell{"kld", 0.02, func() (*Workload, error) { return KLDWorkload(o, d, nodes, 1000), nil }},
+			cell{"mlp-d", 0.2, func() (*Workload, error) { return MLPWorkload(o, d, nodes) }},
+		)
+	}
+	type cellOut struct {
+		messages, central int
+		maxErr            float64
+	}
+	outs := make([]cellOut, len(cells))
+	err := forEach(o.Workers, len(cells), func(i int) error {
+		w, err := cells[i].make()
+		if err != nil {
+			return err
 		}
+		res, err := w.run(sim.AutoMon, cells[i].eps, 0, false)
+		if err != nil {
+			return err
+		}
+		central, err := w.run(sim.Centralization, cells[i].eps, 0, false)
+		if err != nil {
+			return err
+		}
+		outs[i] = cellOut{messages: res.Messages, central: central.Messages, maxErr: res.MaxErr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t.Add(c.name, dims[i/3], outs[i].messages, outs[i].maxErr, outs[i].central)
 	}
 	return t, nil
 }
@@ -57,33 +75,43 @@ func Fig7bNodes(o Options) (*Table, error) {
 	if o.Quick {
 		counts = []int{10, 30, 100, 300}
 	}
-	for _, n := range counts {
-		ip := InnerProductWorkload(o, 40, n)
-		res, err := ip.run(sim.AutoMon, 0.2, 0, false)
-		if err != nil {
-			return nil, err
+	// One task per (node count, function) pair, rows emitted in task order.
+	type out struct {
+		messages, central int
+	}
+	outs := make([]out, 2*len(counts))
+	err := forEach(o.Workers, 2*len(counts), func(i int) error {
+		n := counts[i/2]
+		var w *Workload
+		var err error
+		if i%2 == 0 {
+			w = InnerProductWorkload(o, 40, n)
+		} else {
+			if w, err = MLPWorkload(o, 40, n); err != nil {
+				return err
+			}
 		}
-		central, err := ip.run(sim.Centralization, 0.2, 0, false)
+		res, err := w.run(sim.AutoMon, 0.2, 0, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add("inner-product", n, res.Messages, central.Messages,
-			float64(res.Messages)/float64(central.Messages))
-
-		mlp, err := MLPWorkload(o, 40, n)
+		central, err := w.run(sim.Centralization, 0.2, 0, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err = mlp.run(sim.AutoMon, 0.2, 0, false)
-		if err != nil {
-			return nil, err
+		outs[i] = out{messages: res.Messages, central: central.Messages}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, oo := range outs {
+		name := "inner-product"
+		if i%2 == 1 {
+			name = "mlp-40"
 		}
-		central, err = mlp.run(sim.Centralization, 0.2, 0, false)
-		if err != nil {
-			return nil, err
-		}
-		t.Add("mlp-40", n, res.Messages, central.Messages,
-			float64(res.Messages)/float64(central.Messages))
+		t.Add(name, counts[i/2], oo.messages, oo.central,
+			float64(oo.messages)/float64(oo.central))
 	}
 	return t, nil
 }
@@ -128,31 +156,26 @@ func Fig8Tuning(o Options) (*Table, error) {
 		},
 	}
 
+	// Repetitions are independent (each draws its own workload from a
+	// rep-shifted seed), so they fan across the worker pool. Each rep
+	// accumulates (strategy, eps, r, msgs) entries into a private buffer;
+	// after the join the buffers are folded in rep order so the float
+	// accumulation — and hence the emitted averages — match a sequential run
+	// bit for bit.
+	type entry struct {
+		strategy string
+		eps, r   float64
+		msgs     int
+	}
 	for _, mk := range makers {
-		type acc struct {
-			msgs float64
-			r    float64
-			n    int
-		}
-		// strategy key → per-eps accumulation
-		sums := map[string]map[float64]*acc{}
-		record := func(strategy string, eps, r float64, msgs int) {
-			if sums[strategy] == nil {
-				sums[strategy] = map[float64]*acc{}
-			}
-			a := sums[strategy][eps]
-			if a == nil {
-				a = &acc{}
-				sums[strategy][eps] = a
-			}
-			a.msgs += float64(msgs)
-			a.r += r
-			a.n++
-		}
-		for rep := 0; rep < reps; rep++ {
+		perRep := make([][]entry, reps)
+		err := forEach(o.Workers, reps, func(rep int) error {
 			w, err := mk.make(rep)
 			if err != nil {
-				return nil, err
+				return err
+			}
+			record := func(strategy string, eps, r float64, msgs int) {
+				perRep[rep] = append(perRep[rep], entry{strategy, eps, r, msgs})
 			}
 			tuneData, err := replayData(&Workload{
 				Name: w.Name, F: w.F,
@@ -160,7 +183,7 @@ func Fig8Tuning(o Options) (*Table, error) {
 				Decomp: w.Decomp,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			evalData := w.Data.Slice(o.rounds(200), w.Data.Rounds)
 			runWith := func(eps, r float64) (int, error) {
@@ -176,13 +199,14 @@ func Fig8Tuning(o Options) (*Table, error) {
 			for _, eps := range mk.epss {
 				// Tuned r̂ from Algorithm 2 on the prefix.
 				tuned, err := core.Tune(w.F, tuneData, w.Data.Nodes,
-					core.Config{Epsilon: eps, Decomp: w.Decomp})
+					core.Config{Epsilon: eps, Decomp: w.Decomp,
+						TuneWorkers: w.tuneWorkers()})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				msgs, err := runWith(eps, tuned.R)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				record("tuned", eps, tuned.R, msgs)
 
@@ -191,7 +215,7 @@ func Fig8Tuning(o Options) (*Table, error) {
 				for _, r := range []float64{0.01, 0.02, 0.04, 0.08, 0.15, 0.3, 0.6, 1.2, 2.5} {
 					m, err := runWith(eps, r)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					if bestMsgs < 0 || m < bestMsgs {
 						bestR, bestMsgs = r, m
@@ -202,10 +226,36 @@ func Fig8Tuning(o Options) (*Table, error) {
 				for _, r := range fixed {
 					m, err := runWith(eps, r)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					record("fixed-"+formatR(r), eps, r, m)
 				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		type acc struct {
+			msgs float64
+			r    float64
+			n    int
+		}
+		// strategy key → per-eps accumulation, folded in rep order.
+		sums := map[string]map[float64]*acc{}
+		for _, es := range perRep {
+			for _, e := range es {
+				if sums[e.strategy] == nil {
+					sums[e.strategy] = map[float64]*acc{}
+				}
+				a := sums[e.strategy][e.eps]
+				if a == nil {
+					a = &acc{}
+					sums[e.strategy][e.eps] = a
+				}
+				a.msgs += float64(e.msgs)
+				a.r += e.r
+				a.n++
 			}
 		}
 		for strategy, perEps := range sums {

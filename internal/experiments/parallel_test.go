@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 23
+		hits := make([]int32, n)
+		err := forEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := forEach(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want the error a sequential loop would surface first (%v)", err, errLow)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := forEach(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig3DeterministicAcrossWorkers regenerates the figure-3 sweep with the
+// sequential and the parallel runner and requires identical tables: sweeps
+// deposit rows into index-addressed slots and the replayed protocol is
+// deterministic per (seed, radius), so the CSVs must not depend on Workers.
+func TestFig3DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the rosenbrock sweep twice")
+	}
+	seq := tinyOpts()
+	seq.Workers = 1
+	par := tinyOpts()
+	par.Workers = 4
+
+	tSeq, err := Fig3NeighborhoodSweep(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPar, err := Fig3NeighborhoodSweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tSeq.Header, tPar.Header) || !reflect.DeepEqual(tSeq.Rows, tPar.Rows) {
+		t.Fatalf("fig3 table depends on the worker count:\nsequential: %v\nparallel:   %v", tSeq.Rows, tPar.Rows)
+	}
+}

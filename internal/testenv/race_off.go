@@ -1,0 +1,8 @@
+//go:build !race
+
+package testenv
+
+// RaceEnabled reports whether the binary was built with -race. Allocation
+// and timing assertions skip themselves when it is true, since the race
+// runtime changes both.
+const RaceEnabled = false
