@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the bit-reproducibility PR 3 promised for the protocol
+// and experiment pipeline: in the deterministic packages (core, optimize,
+// experiments) it flags map iteration (unordered by language spec), wall
+// clocks (time.Now/Since/Until) and the globally seeded math/rand functions
+// (seeded constructors rand.New(rand.NewSource(seed)) remain fine), and
+// selects that race two non-timeout channels against each other. Worker
+// determinism — identical results at any worker count — depends on exactly
+// these constructs never deciding an output.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "deterministic packages must not iterate maps into output, read wall clocks, use global math/rand, or race channels",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgSuffixes selects the packages under the determinism
+// contract by import-path suffix. Fixture packages opt in by ending their
+// path the same way.
+var deterministicPkgSuffixes = []string{
+	"internal/core",
+	"internal/optimize",
+	"internal/experiments",
+}
+
+func isDeterministicPkg(path string) bool {
+	for _, s := range deterministicPkgSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// seededRandConstructors are the math/rand entry points that build an
+// explicitly seeded stream; everything else package-level draws from the
+// shared global source.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// isTimeChan reports whether expr is a channel of time.Time — a timeout arm
+// (time.After, Timer.C, Ticker.C), which a select may legitimately race
+// against one real channel.
+func isTimeChan(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	named, ok := ch.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time"
+}
+
+// commChannel extracts the channel expression of a select case, or nil for
+// the default case.
+func commChannel(clause *ast.CommClause) ast.Expr {
+	switch s := clause.Comm.(type) {
+	case *ast.SendStmt:
+		return s.Chan
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// orderInsensitiveBody recognizes the two map-range shapes whose result is
+// independent of iteration order, so the sorted-keys fix idiom and plain
+// re-keyed copies don't need suppressions:
+//
+//	for k := range m { keys = append(keys, k) }   // collect, then sort
+//	for k, v := range m { m2[k] = f(v) }          // keyed write, commutative
+//
+// Anything else — appending values, emitting output, accumulating floats —
+// stays a finding: those leak the iteration order into the result.
+func orderInsensitiveBody(r *ast.RangeStmt) bool {
+	if len(r.Body.List) != 1 {
+		return false
+	}
+	assign, ok := r.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	keyID, _ := r.Key.(*ast.Ident)
+	if keyID == nil || keyID.Name == "_" {
+		return false
+	}
+	// keys = append(keys, k)
+	if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+		if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" && len(call.Args) == 2 {
+			if arg, ok := call.Args[1].(*ast.Ident); ok && arg.Name == keyID.Name {
+				return true
+			}
+		}
+	}
+	// m2[k] = rhs
+	if ix, ok := assign.Lhs[0].(*ast.IndexExpr); ok && assign.Tok == token.ASSIGN {
+		if idx, ok := ix.Index.(*ast.Ident); ok && idx.Name == keyID.Name {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(p *Pass) error {
+	for _, pkg := range p.Pkgs {
+		if !isDeterministicPkg(pkg.Path) {
+			continue
+		}
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if tv, ok := info.Types[n.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !orderInsensitiveBody(n) {
+							p.Reportf(n.Pos(), "map iteration order is nondeterministic; iterate sorted keys or restructure")
+						}
+					}
+				case *ast.CallExpr:
+					fn := callee(info, n)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					switch fn.Pkg().Path() {
+					case "time":
+						switch fn.Name() {
+						case "Now", "Since", "Until":
+							p.Reportf(n.Pos(), "time.%s reads the wall clock; deterministic packages must not depend on real time", fn.Name())
+						}
+					case "math/rand", "math/rand/v2":
+						if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil &&
+							!seededRandConstructors[fn.Name()] {
+							p.Reportf(n.Pos(), "rand.%s draws from the global source; use a seeded rand.New(rand.NewSource(seed))", fn.Name())
+						}
+					}
+				case *ast.SelectStmt:
+					real := 0
+					for _, c := range n.Body.List {
+						clause := c.(*ast.CommClause)
+						if clause.Comm == nil {
+							continue // default case
+						}
+						if ch := commChannel(clause); ch != nil && isTimeChan(info, ch) {
+							continue // timeout arm
+						}
+						real++
+					}
+					if real >= 2 {
+						p.Reportf(n.Pos(), "select races %d channels; receive order is nondeterministic", real)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Erreig bans discarding errors with the blank identifier. The eigensolver
+// and optimizer surface convergence failures exclusively through their error
+// results (EigenSym, ExtremeEigenvalues, Minimize, Tune's bracket errors); a
+// dropped error there silently converts "the decomposition is wrong" into
+// "the safe zone looks fine", which is precisely the failure mode the §3.7
+// sanity check exists to catch. The rule is module-wide: any `_`-assignment
+// of an error value is a finding, and deliberate fire-and-forget sites (e.g.
+// best-effort sends on a faulty transport) must say so via //automon:allow.
+var Erreig = &Analyzer{
+	Name: "erreig",
+	Doc:  "error results must not be discarded with _; handle them or suppress with a reason",
+	Run:  runErreig,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+func runErreig(p *Pass) error {
+	for _, pkg := range p.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				// a, _ := f()  — one call, multiple results.
+				if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+					tv, ok := info.Types[assign.Rhs[0]]
+					if !ok {
+						return true
+					}
+					tuple, ok := tv.Type.(*types.Tuple)
+					if !ok {
+						return true
+					}
+					for i, lhs := range assign.Lhs {
+						if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+							p.Reportf(lhs.Pos(), "error result of %s discarded with _", types.ExprString(assign.Rhs[0]))
+						}
+					}
+					return true
+				}
+				// _ = expr — element-wise assignment.
+				for i, lhs := range assign.Lhs {
+					if !isBlank(lhs) || i >= len(assign.Rhs) {
+						continue
+					}
+					if tv, ok := info.Types[assign.Rhs[i]]; ok && isErrorType(tv.Type) {
+						p.Reportf(lhs.Pos(), "error value of %s discarded with _", types.ExprString(assign.Rhs[i]))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Nofloateq flags ==/!= between floating-point expressions, including float
+// switch cases (a chain of == under the hood). Rounded protocol thresholds
+// compared with equality are exactly how a bit-drifting refactor slips past
+// the worker-determinism tests. Two comparisons are exact by IEEE-754 and
+// allowed without ceremony: against literal 0 (the sentinel/sparsity idiom
+// used by the adjoint loops) and against NaN-free constant ±Inf. Everything
+// else needs an epsilon, an integer representation, or an //automon:allow
+// with the reason the comparison is exact. Test files are outside the lint
+// closure entirely.
+var Nofloateq = &Analyzer{
+	Name: "nofloateq",
+	Doc:  "no ==/!= on float64 expressions (exact-zero and ±Inf comparisons excepted)",
+	Run:  runNofloateq,
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exactConstant reports whether e is a compile-time constant that compares
+// exactly: literal zero or an infinity.
+func exactConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		if constant.Sign(tv.Value) == 0 {
+			return true
+		}
+		if v, ok := constant.Float64Val(tv.Value); ok && (v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNofloateq(p *Pass) error {
+	for _, pkg := range p.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					xt, xok := info.Types[n.X]
+					yt, yok := info.Types[n.Y]
+					if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+						return true
+					}
+					if exactConstant(info, n.X) || exactConstant(info, n.Y) {
+						return true
+					}
+					p.Reportf(n.OpPos, "%s on float operands is bit-fragile; compare with a tolerance or an exact representation", n.Op)
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					tv, ok := info.Types[n.Tag]
+					if !ok || !isFloat(tv.Type) {
+						return true
+					}
+					for _, c := range n.Body.List {
+						clause := c.(*ast.CaseClause)
+						for _, e := range clause.List {
+							if !exactConstant(info, e) {
+								p.Reportf(e.Pos(), "switch on float64 compares cases with ==; use explicit tolerances or strconv formatting")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

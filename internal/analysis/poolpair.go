@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Poolpair enforces the buffer-pool discipline behind the allocation-free
+// monitoring loop: within one function, every Get from a pool-like value
+// (sync.Pool, or any named type whose name contains "pool" — the autodiff
+// bufferPool with its PR-3 dirty-get/zeroed-get split) must be matched by a
+// Put on the same pool, counting deferred Puts. A function that returns a
+// buffer it got transfers ownership to its caller and is exempt, which is
+// exactly how the pool wrappers themselves (bufferPool.get/getZeroed) hand
+// buffers out.
+var Poolpair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "every pool Get needs a matching Put on all paths of the same function (or the buffer must be returned)",
+	Run:  runPoolpair,
+}
+
+var poolGetNames = map[string]bool{"get": true, "Get": true, "getZeroed": true, "GetZeroed": true}
+var poolPutNames = map[string]bool{"put": true, "Put": true}
+
+// isPoolType reports whether t names a pool: sync.Pool or a declared type
+// whose name contains "pool".
+func isPoolType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool" {
+		return true
+	}
+	return strings.Contains(strings.ToLower(obj.Name()), "pool")
+}
+
+// poolCall describes one Get/Put on a pool receiver inside a function.
+type poolCall struct {
+	call *ast.CallExpr
+	recv string // printed receiver expression, e.g. "g.pool"
+	get  bool
+}
+
+// poolCalls collects the pool operations in a function body.
+func poolCalls(info *types.Info, body *ast.BlockStmt) []poolCall {
+	var out []poolCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		isGet, isPut := poolGetNames[sel.Sel.Name], poolPutNames[sel.Sel.Name]
+		if !isGet && !isPut {
+			return true
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok || !isPoolType(tv.Type) {
+			return true
+		}
+		out = append(out, poolCall{call: call, recv: types.ExprString(sel.X), get: isGet})
+		return true
+	})
+	return out
+}
+
+// returnsPoolBuffer reports whether any return statement mentions a variable
+// assigned from one of the function's pool Gets — the ownership-transfer
+// exemption.
+func returnsPoolBuffer(body *ast.BlockStmt, calls []poolCall) bool {
+	vars := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			for _, pc := range calls {
+				if !pc.get {
+					continue
+				}
+				if containsNode(rhs, pc.call) && i < len(assign.Lhs) {
+					if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+						vars[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return false
+	}
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || escaped {
+			return !escaped
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && vars[id.Name] {
+					escaped = true
+				}
+				return !escaped
+			})
+		}
+		return true
+	})
+	return escaped
+}
+
+// containsNode reports whether target appears within root.
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func runPoolpair(p *Pass) error {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				calls := poolCalls(pkg.Info, decl.Body)
+				if len(calls) == 0 {
+					continue
+				}
+				if returnsPoolBuffer(decl.Body, calls) {
+					continue // ownership transferred to the caller
+				}
+				type tally struct {
+					gets, puts int
+					firstGet   *ast.CallExpr
+				}
+				byRecv := make(map[string]*tally)
+				for _, pc := range calls {
+					t := byRecv[pc.recv]
+					if t == nil {
+						t = &tally{}
+						byRecv[pc.recv] = t
+					}
+					if pc.get {
+						t.gets++
+						if t.firstGet == nil {
+							t.firstGet = pc.call
+						}
+					} else {
+						t.puts++
+					}
+				}
+				for recv, t := range byRecv {
+					if t.gets > t.puts && t.firstGet != nil {
+						p.Reportf(t.firstGet.Pos(),
+							"%s has %d Get(s) but %d Put(s) on pool %s: a leaked buffer defeats the allocation-free loop",
+							declName(decl), t.gets, t.puts, recv)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

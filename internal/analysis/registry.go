@@ -1,0 +1,15 @@
+package analysis
+
+// All returns every analyzer in the suite, in stable order. cmd/automon-lint
+// runs exactly this list; the meta-test in this package asserts the two never
+// drift apart.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Hotpath,
+		Poolpair,
+		Determinism,
+		Erreig,
+		Obsnames,
+		Nofloateq,
+	}
+}

@@ -1,0 +1,31 @@
+// Package allowform exercises the suppression-directive hygiene rules: a
+// directive without a reason, without a name, or naming an unknown analyzer
+// is itself a diagnostic and does NOT waive the underlying finding. The
+// expectations are asserted programmatically (TestSuppressionDirectives)
+// rather than with want comments, because the malformed directives under
+// test occupy the comment position a want marker would need.
+package allowform
+
+import "errors"
+
+func errFn() error { return errors.New("x") }
+
+func missingReason() {
+	//automon:allow erreig
+	_ = errFn()
+}
+
+func unknownAnalyzer() {
+	//automon:allow nosuch because reasons
+	_ = errFn()
+}
+
+func missingName() {
+	//automon:allow
+	_ = errFn()
+}
+
+func wellFormed() {
+	//automon:allow erreig deliberate fixture waiver
+	_ = errFn()
+}

@@ -1,0 +1,81 @@
+// Package core exercises the determinism analyzer. The fixture is loaded
+// under the import path fixture/internal/core, which opts it into the
+// deterministic-package contract.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// LeakOrder appends map values in iteration order: the order leaks into the
+// result.
+func LeakOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedKeys uses the collect-then-sort idiom; the first range is
+// order-insensitive and must not be flagged.
+func SortedKeys(m map[string]int) []int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// KeyedCopy re-keys one map into another: commutative, no finding.
+func KeyedCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want "reads the wall clock"
+}
+
+// Roll draws from the global math/rand source.
+func Roll() int {
+	return rand.Intn(6) // want "draws from the global source"
+}
+
+// Seeded builds an explicitly seeded stream: the blessed constructors and
+// method calls on the seeded *rand.Rand are fine.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Race selects between two real channels.
+func Race(a, b chan int) int {
+	select { // want "receive order is nondeterministic"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Timeout races one real channel against a timer arm only: allowed.
+func Timeout(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	}
+}

@@ -1,0 +1,41 @@
+// Package erreig exercises the erreig analyzer: error values must not be
+// discarded with the blank identifier, in either tuple or element-wise form.
+package erreig
+
+import "errors"
+
+func mayFail() (int, error) { return 0, errors.New("boom") }
+
+func onlyErr() error { return nil }
+
+// Tuple discards the error result of a multi-value call.
+func Tuple() int {
+	v, _ := mayFail() // want "error result of mayFail.. discarded"
+	return v
+}
+
+// Elem discards a bare error value.
+func Elem() {
+	_ = onlyErr() // want "error value of onlyErr.. discarded"
+}
+
+// Handled checks the error: no finding.
+func Handled() int {
+	v, err := mayFail()
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+// Waived discards deliberately, with a reasoned suppression: no finding.
+func Waived() {
+	_ = onlyErr() //automon:allow erreig fixture: fire-and-forget by design
+}
+
+// NonError blank-assigns a non-error value: no finding.
+func NonError() {
+	_, _ = mayFail2()
+}
+
+func mayFail2() (int, int) { return 1, 2 }

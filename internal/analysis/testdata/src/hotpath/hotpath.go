@@ -1,0 +1,73 @@
+// Package hotpath exercises the hotpath analyzer: functions marked
+// //automon:hotpath and every module function statically reachable from one
+// must not allocate, box float slices into interfaces, or take locks.
+package hotpath
+
+import "sync"
+
+// Root allocates directly inside a marked function.
+//
+//automon:hotpath
+func Root(x []float64) float64 {
+	s := make([]float64, len(x)) // want "make allocates"
+	copy(s, x)
+	return helper(s)
+}
+
+// helper is allocation-free and reachable from Root; it must produce no
+// finding.
+func helper(x []float64) float64 {
+	total := 0.0
+	for _, v := range x {
+		total += v
+	}
+	return total
+}
+
+// Transitive reaches an allocation one hop down the static call graph.
+//
+//automon:hotpath
+func Transitive(x []float64) []float64 {
+	return grow(x)
+}
+
+func grow(x []float64) []float64 {
+	return append(x, 1) // want "append may grow"
+}
+
+//automon:hotpath
+func LockRoot(mu *sync.Mutex) {
+	mu.Lock() // want "acquires a lock"
+	mu.Unlock()
+}
+
+func boxy(v interface{}) bool { return v != nil }
+
+//automon:hotpath
+func BoxRoot(x []float64) bool {
+	return boxy(x) // want "boxed into an interface parameter"
+}
+
+//automon:hotpath
+func DynRoot(f func() float64) float64 {
+	return f() // want "cannot be proven allocation-free"
+}
+
+// Waived allocates behind a suppression; the directive also prunes the
+// traversal, so pruned's own make is not dragged into the hot closure.
+//
+//automon:hotpath
+func Waived(n int) float64 {
+	//automon:allow hotpath fixture: cold setup path by construction
+	s := pruned(n)
+	return s[0]
+}
+
+func pruned(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Unmarked allocates but is reachable from no marked root: no finding.
+func Unmarked(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,41 @@
+// Package nofloateq exercises the nofloateq analyzer: ==/!= on float64
+// operands is flagged unless one side is an exact constant (literal zero or
+// ±Inf), and float switch statements are a chain of == in disguise.
+package nofloateq
+
+// Eq compares two floats for equality.
+func Eq(a, b float64) bool {
+	return a == b // want "float operands is bit-fragile"
+}
+
+// Neq is the != spelling of the same bug.
+func Neq(a, b float64) bool {
+	return a != b // want "float operands is bit-fragile"
+}
+
+// Zero compares against literal zero, which is exact: no finding.
+func Zero(a float64) bool {
+	return a == 0
+}
+
+// Ints compares integers: no finding.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Switch compares the tag against each case with ==; only the exact-zero
+// case escapes.
+func Switch(x float64) string {
+	switch x {
+	case 0:
+		return "zero"
+	case 1.5: // want "switch on float64"
+		return "mid"
+	}
+	return "other"
+}
+
+// Waived carries a reasoned suppression: no finding.
+func Waived(a, b float64) bool {
+	return a == b //automon:allow nofloateq fixture: bitwise identity is the intent
+}

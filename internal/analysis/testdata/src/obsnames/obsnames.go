@@ -1,0 +1,45 @@
+// Package obsnames exercises the obsnames analyzer: any automon_* metric
+// name reaching a constructor whose callee name mentions counter, gauge or
+// histogram must follow automon_<subsystem>_<name> lower_snake_case with a
+// kind-consistent suffix.
+package obsnames
+
+import "fmt"
+
+type metric struct{ name string }
+
+func newCounter(name string) *metric  { return &metric{name: name} }
+func newGauge(name string) *metric    { return &metric{name: name} }
+func histogramOr(name string) *metric { return &metric{name: name} }
+
+var (
+	good     = newCounter("automon_sim_rounds_total")
+	okGauge  = newGauge("automon_queue_depth")
+	noTotal  = newCounter("automon_sim_rounds")             // want "must end in _total"
+	gaugeTot = newGauge("automon_queue_depth_total")        // want "must not end in _total"
+	camel    = newCounter("automon_SimRounds_total")        // want "lower_snake_case"
+	foreign  = newCounter("node_rounds_total")              // want "must start with automon_"
+	reserved = histogramOr("automon_latency_seconds_count") // want "must not end in _count"
+)
+
+func lbl(s string) string { return s }
+
+// Labeled appends a label set after a well-formed counter base: no finding.
+var labeled = newCounter("automon_transport_frames_total{" + lbl("node") + "}")
+
+// PerNode builds the name with Sprintf; the constant prefix is checkable and
+// well-formed, the rest is a runtime concern: no finding.
+func PerNode(i int) *metric {
+	return newCounter(fmt.Sprintf("automon_node_%d_msgs_total", i))
+}
+
+// BadDyn has a fully constant base (single trailing %s appends labels) that
+// breaks the prefix rule.
+func BadDyn(shard string) *metric {
+	return newGauge(fmt.Sprintf("AutomonShard%s", shard)) // want "must start with automon_"
+}
+
+// Opaque passes a wholly dynamic name: out of static reach, no finding.
+func Opaque(name string) *metric {
+	return newCounter(name)
+}

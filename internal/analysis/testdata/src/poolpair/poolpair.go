@@ -1,0 +1,50 @@
+// Package poolpair exercises the poolpair analyzer: within one function,
+// every Get from a pool-like value needs a matching Put on the same pool,
+// unless the buffer is returned (ownership transfer).
+package poolpair
+
+import "sync"
+
+type bufPool struct{ pool sync.Pool }
+
+// get hands the buffer to its caller: the ownership-transfer exemption, so
+// the unbalanced p.pool.Get here is fine.
+func (p *bufPool) get() *[]float64 {
+	if v := p.pool.Get(); v != nil {
+		return v.(*[]float64)
+	}
+	s := make([]float64, 8)
+	return &s
+}
+
+func (p *bufPool) put(b *[]float64) { p.pool.Put(b) }
+
+// Leaky gets a buffer and never puts it back.
+func Leaky(p *bufPool) float64 {
+	b := p.get() // want "1 Get.s. but 0 Put"
+	s := *b
+	return s[0]
+}
+
+// Balanced pairs its get with a deferred put: no finding.
+func Balanced(p *bufPool) float64 {
+	b := p.get()
+	defer p.put(b)
+	s := *b
+	return s[0]
+}
+
+var scratch sync.Pool
+
+// LeakFromGlobal leaks straight from a sync.Pool.
+func LeakFromGlobal() float64 {
+	b := scratch.Get().(*[]float64) // want "1 Get.s. but 0 Put"
+	s := *b
+	return s[0]
+}
+
+// HandsOff returns the buffer it got: ownership transferred, no finding.
+func HandsOff() *[]float64 {
+	b := scratch.Get().(*[]float64)
+	return b
+}

@@ -24,6 +24,7 @@ func (p *bufferPool) get() *[]float64 {
 	if v := p.pool.Get(); v != nil {
 		return v.(*[]float64)
 	}
+	//automon:allow hotpath pool-miss fallback: first evaluation per P warms the pool; steady state never reaches this line
 	s := make([]float64, p.size)
 	return &s
 }
@@ -48,6 +49,8 @@ func (g *Graph) checkDim(x []float64) {
 }
 
 // Value evaluates f(x).
+//
+//automon:hotpath
 func (g *Graph) Value(x []float64) float64 {
 	g.checkDim(x)
 	valBuf := g.pool.get()
@@ -187,6 +190,8 @@ func (n *node) partials(va, vb, vn float64) (pa, pb float64) {
 
 // Grad evaluates f(x) and stores ∇f(x) into grad, returning f(x).
 // grad must have length Dim.
+//
+//automon:hotpath
 func (g *Graph) Grad(x, grad []float64) float64 {
 	g.checkDim(x)
 	if len(grad) != len(g.vars) {
@@ -418,6 +423,8 @@ func (n *node) dualPartials(va, ta, vb, tb, vn, tn float64) (pa, dpa, pb, dpb fl
 
 // Hessian evaluates the full d×d Hessian of f at x into h via d
 // Hessian-vector products, then symmetrizes to wash out round-off.
+//
+//automon:hotpath
 func (g *Graph) Hessian(x []float64, h *linalg.Mat) {
 	d := len(g.vars)
 	if h.Rows != d || h.Cols != d {

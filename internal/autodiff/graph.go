@@ -198,9 +198,9 @@ func (b *Builder) Mul(x, y Ref) Ref {
 		return b.Const(cx * cy)
 	case okx && cx == 0, oky && cy == 0:
 		return b.Const(0)
-	case okx && cx == 1:
+	case okx && cx == 1: //automon:allow nofloateq algebraic identity 1·y = y is exact in IEEE-754
 		return y
-	case oky && cy == 1:
+	case oky && cy == 1: //automon:allow nofloateq algebraic identity x·1 = x is exact in IEEE-754
 		return x
 	}
 	return b.push(node{op: OpMul, a: x, b: y})
@@ -213,7 +213,7 @@ func (b *Builder) Div(x, y Ref) Ref {
 	switch {
 	case okx && oky && cy != 0:
 		return b.Const(cx / cy)
-	case oky && cy == 1:
+	case oky && cy == 1: //automon:allow nofloateq algebraic identity x/1 = x is exact in IEEE-754
 		return x
 	}
 	return b.push(node{op: OpDiv, a: x, b: y})

@@ -146,7 +146,7 @@ func floatsEqual(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //automon:allow nofloateq memo-key identity must be bitwise: only an exact hit may reuse a cached eigensolve
 			return false
 		}
 	}

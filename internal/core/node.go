@@ -52,6 +52,8 @@ func (n *Node) SetData(x []float64) {
 // returning a Violation to forward to the coordinator, or nil when all
 // constraints hold (no communication needed). Before the first sync the node
 // is silent.
+//
+//automon:hotpath
 func (n *Node) UpdateData(x []float64) *Violation {
 	n.SetData(x)
 	return n.Check()
@@ -66,13 +68,13 @@ func (n *Node) Check() *Violation {
 	linalg.Add(n.v, n.x, n.slack)
 	z := n.zone
 	if !z.InNeighborhood(n.v) {
-		return &Violation{NodeID: n.ID, Kind: ViolationNeighborhood, X: n.LocalVector()}
+		return &Violation{NodeID: n.ID, Kind: ViolationNeighborhood, X: n.LocalVector()} //automon:allow hotpath violation path ends the silent round: the copied vector is the message payload
 	}
 	if !z.ContainsScratch(n.F, n.v, n.diff) {
-		return &Violation{NodeID: n.ID, Kind: ViolationSafeZone, X: n.LocalVector()}
+		return &Violation{NodeID: n.ID, Kind: ViolationSafeZone, X: n.LocalVector()} //automon:allow hotpath violation path ends the silent round: the copied vector is the message payload
 	}
 	if z.Method != MethodNone && !z.InAdmissibleRegion(n.F, n.v) {
-		return &Violation{NodeID: n.ID, Kind: ViolationFaulty, X: n.LocalVector()}
+		return &Violation{NodeID: n.ID, Kind: ViolationFaulty, X: n.LocalVector()} //automon:allow hotpath violation path ends the silent round: the copied vector is the message payload
 	}
 	return nil
 }

@@ -106,8 +106,11 @@ func (z *SafeZone) Contains(f *Function, v []float64) bool {
 // non-nil and len(diff) == len(v) the ADCD-E path uses it instead of
 // allocating, making the per-update check allocation-free. diff is
 // overwritten; it must not alias v or z.X0.
+//
+//automon:hotpath
 func (z *SafeZone) ContainsScratch(f *Function, v, diff []float64) bool {
 	if z.Custom != nil {
+		//automon:allow hotpath custom zones are hand-crafted GM baselines, never installed on the measured monitoring path
 		return z.Custom(f, v)
 	}
 	switch z.Method {
@@ -119,6 +122,7 @@ func (z *SafeZone) ContainsScratch(f *Function, v, diff []float64) bool {
 		return z.containsWithQuadratic(f, v, q)
 	case MethodE:
 		if len(diff) != len(v) {
+			//automon:allow hotpath scratch-miss fallback: the monitoring loop always passes node-owned scratch
 			diff = make([]float64, len(v))
 		}
 		linalg.Sub(diff, v, z.X0)

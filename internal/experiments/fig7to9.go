@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"sort"
+	"strconv"
+
 	"automon/internal/core"
 	"automon/internal/sim"
 )
@@ -258,8 +261,23 @@ func Fig8Tuning(o Options) (*Table, error) {
 				a.n++
 			}
 		}
-		for strategy, perEps := range sums {
-			for eps, a := range perEps {
+		// The accumulators are keyed by map; emit rows in sorted
+		// (strategy, eps) order so the table is identical across runs —
+		// map iteration order would otherwise shuffle the CSV.
+		strategies := make([]string, 0, len(sums))
+		for strategy := range sums {
+			strategies = append(strategies, strategy)
+		}
+		sort.Strings(strategies)
+		for _, strategy := range strategies {
+			perEps := sums[strategy]
+			epss := make([]float64, 0, len(perEps))
+			for eps := range perEps {
+				epss = append(epss, eps)
+			}
+			sort.Float64s(epss)
+			for _, eps := range epss {
+				a := perEps[eps]
 				t.Add(mk.name, eps, strategy, a.r/float64(a.n), int(a.msgs/float64(a.n)))
 			}
 		}
@@ -267,14 +285,11 @@ func Fig8Tuning(o Options) (*Table, error) {
 	return t, nil
 }
 
+// formatR renders a fixed-strategy radius for the row label. The shortest
+// round-trip formatting reproduces the exact literals the fixed grid is
+// declared with ("0.05", "0.5", "2.5"), without comparing floats with ==.
 func formatR(r float64) string {
-	switch r {
-	case 0.05:
-		return "0.05"
-	case 0.5:
-		return "0.5"
-	}
-	return "2.5"
+	return strconv.FormatFloat(r, 'g', -1, 64)
 }
 
 // Fig9Ablation reproduces Figure 9: max error and cumulative messages over

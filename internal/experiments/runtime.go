@@ -79,6 +79,7 @@ func measureRuntime(w *Workload, eps float64) (nodeUS, syncMS float64, method st
 	// Full-sync time: average over a few syncs (the first includes the
 	// one-time ADCD-E eigendecomposition, matching the paper's setup cost).
 	syncs := 3
+	//automon:allow determinism wall-clock runtime is this experiment's measured output (fig 10)
 	start := time.Now()
 	if err := coord.Init(); err != nil {
 		return 0, 0, "", err
@@ -90,14 +91,17 @@ func measureRuntime(w *Workload, eps float64) (nodeUS, syncMS float64, method st
 			return 0, 0, "", err
 		}
 	}
+	//automon:allow determinism wall-clock runtime is this experiment's measured output (fig 10)
 	syncMS = float64(time.Since(start).Microseconds()) / 1000 / float64(syncs)
 
 	// Node update time: re-check constraints on the same vector many times.
 	const checks = 2000
+	//automon:allow determinism wall-clock runtime is this experiment's measured output (fig 10)
 	start = time.Now()
 	for k := 0; k < checks; k++ {
 		nodes[1].UpdateData(windows[1].v)
 	}
+	//automon:allow determinism wall-clock runtime is this experiment's measured output (fig 10)
 	nodeUS = float64(time.Since(start).Nanoseconds()) / 1000 / checks
 	return nodeUS, syncMS, coord.Method().String(), nil
 }

@@ -298,6 +298,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 // formatValue renders a float the way Prometheus expects (integers without
 // an exponent, +Inf as "+Inf").
 func formatValue(v float64) string {
+	//automon:allow nofloateq exact integrality test chooses the integer rendering; both branches are correct
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -309,7 +309,7 @@ func numGrad(cnt *counter, x, grad, lo, hi []float64, h float64) {
 	for i := range x {
 		up := math.Min(x[i]+h, hi[i])
 		down := math.Max(x[i]-h, lo[i])
-		if up == down {
+		if up == down { //automon:allow nofloateq exact degeneracy test: identical clamped endpoints would make the difference step 0/0
 			grad[i] = 0
 			continue
 		}
