@@ -4,12 +4,19 @@
 // models.
 //
 //	automon-coordinator -addr :7700 -func inner-product -nodes 10 -eps 0.1
+//
+// With -groups the same listener hosts several monitoring groups at once —
+// one per named workload, group ids assigned in order — and nodes pick their
+// tenant with automon-node -group:
+//
+//	automon-coordinator -addr :7700 -groups inner-product,quadratic -nodes 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"automon/internal/core"
@@ -21,27 +28,24 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
 	fn := flag.String("func", "inner-product", "workload name (must match the nodes)")
-	nodes := flag.Int("nodes", 10, "number of nodes that will register")
+	groups := flag.String("groups", "", "comma-separated workload names hosted as groups 0..k-1 on this listener (overrides -func)")
+	nodes := flag.Int("nodes", 10, "number of nodes that will register (per group)")
 	eps := flag.Float64("eps", 0.1, "approximation error bound ε")
 	r := flag.Float64("r", 1, "ADCD-X neighborhood size")
 	seed := flag.Int64("seed", 1, "master seed (must match the nodes)")
 	full := flag.Bool("full", false, "full-size parameters")
 	latency := flag.Duration("latency", 0, "injected one-way latency per message")
+	batchBytes := flag.Int("batch-bytes", 0, "coalesce outbound messages into one frame up to this many body bytes (0 = batching off)")
+	batchDelay := flag.Duration("batch-delay", 0, "longest a coalesced message may wait before its frame is flushed")
 	report := flag.Duration("report", 2*time.Second, "estimate reporting interval")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics, /debug/vars, /debug/events, and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	o := experiments.Options{Quick: !*full, Seed: *seed}
-	w, err := experiments.NamedWorkload(*fn, o)
-	if err != nil {
-		fail(err)
+	opts := transport.Options{
+		Latency: *latency,
+		Batch:   transport.BatchOptions{MaxBytes: *batchBytes, MaxDelay: *batchDelay},
 	}
-	cfg := core.Config{Epsilon: *eps, R: *r, Decomp: w.Decomp}
-	if w.FixedR > 0 {
-		cfg.R = w.FixedR
-	}
-
-	opts := transport.Options{Latency: *latency}
 	if *obsAddr != "" {
 		opts.Metrics = obs.NewRegistry()
 		opts.Tracer = obs.NewTracer(1024)
@@ -52,6 +56,17 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("automon-coordinator: observability on http://%s/metrics\n", srv.Addr)
 	}
+
+	if *groups != "" {
+		runMulti(strings.Split(*groups, ","), *addr, *nodes, *eps, *r, o, opts, *report)
+		return
+	}
+
+	w, err := experiments.NamedWorkload(*fn, o)
+	if err != nil {
+		fail(err)
+	}
+	cfg := workloadConfig(w, *eps, *r)
 
 	coord, err := transport.ListenCoordinator(*addr, w.F, *nodes, cfg, opts)
 	if err != nil {
@@ -93,6 +108,75 @@ func main() {
 		fmt.Printf("estimate f(x̄) ≈ %.6g  (msgs in/out: %d/%d)%s\n",
 			coord.Estimate(), coord.Stats.MessagesReceived.Load(), coord.Stats.MessagesSent.Load(), status)
 	}
+}
+
+// runMulti hosts one monitoring group per named workload on a single
+// listener and reports every group's estimate each tick.
+func runMulti(names []string, addr string, nodes int, eps, r float64,
+	o experiments.Options, opts transport.Options, report time.Duration) {
+	mc, err := transport.ListenMulti(addr, opts)
+	if err != nil {
+		fail(err)
+	}
+	defer mc.Close()
+
+	type tenant struct {
+		gid   transport.GroupID
+		name  string
+		coord *transport.Coordinator
+	}
+	tenants := make([]tenant, 0, len(names))
+	for gid, name := range names {
+		name = strings.TrimSpace(name)
+		w, err := experiments.NamedWorkload(name, o)
+		if err != nil {
+			fail(err)
+		}
+		c, err := mc.AddGroup(transport.GroupID(gid), w.F, nodes, workloadConfig(w, eps, r))
+		if err != nil {
+			fail(err)
+		}
+		tenants = append(tenants, tenant{gid: transport.GroupID(gid), name: w.Name, coord: c})
+	}
+	fmt.Printf("automon-coordinator: listening on %s for %d groups × %d nodes (ε = %g)\n",
+		mc.Addr(), len(tenants), nodes, eps)
+	for _, tn := range tenants {
+		select {
+		case <-tn.coord.Ready():
+			fmt.Printf("  group %d (%s): all nodes registered\n", tn.gid, tn.name)
+		case <-time.After(5 * time.Minute):
+			fail(fmt.Errorf("group %d (%s): nodes never registered", tn.gid, tn.name))
+		}
+	}
+
+	ticker := time.NewTicker(report)
+	defer ticker.Stop()
+	for range ticker.C {
+		if err := mc.Err(); err != nil {
+			fmt.Printf("automon-coordinator: shutting down (%v)\n", err)
+			return
+		}
+		for _, tn := range tenants {
+			status := ""
+			if tn.coord.Degraded() {
+				status = fmt.Sprintf("  DEGRADED: %d/%d nodes live", tn.coord.LiveNodes(), nodes)
+			}
+			fmt.Printf("group %d (%s): f(x̄) ≈ %.6g  (msgs in/out: %d/%d, frames out: %d)%s\n",
+				tn.gid, tn.name, tn.coord.Estimate(),
+				tn.coord.Stats.MessagesReceived.Load(), tn.coord.Stats.MessagesSent.Load(),
+				tn.coord.Stats.FramesSent.Load(), status)
+		}
+	}
+}
+
+// workloadConfig builds the core config for one workload, honoring its
+// pinned neighborhood size when it has one.
+func workloadConfig(w *experiments.Workload, eps, r float64) core.Config {
+	cfg := core.Config{Epsilon: eps, R: r, Decomp: w.Decomp}
+	if w.FixedR > 0 {
+		cfg.R = w.FixedR
+	}
+	return cfg
 }
 
 func fail(err error) {

@@ -3,6 +3,9 @@
 // violations to the coordinator.
 //
 //	automon-node -addr 127.0.0.1:7700 -func inner-product -id 0
+//
+// Against a multi-group coordinator (automon-coordinator -groups …), pass
+// -group to pick the tenant; -func must then name that group's workload.
 package main
 
 import (
@@ -20,6 +23,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "coordinator address")
 	fn := flag.String("func", "inner-product", "workload name (must match the coordinator)")
 	id := flag.Int("id", 0, "node id")
+	group := flag.Int("group", 0, "monitoring group id on a multi-group coordinator")
+	batchBytes := flag.Int("batch-bytes", 0, "coalesce outbound messages into one frame up to this many body bytes (0 = batching off)")
+	batchDelay := flag.Duration("batch-delay", 0, "longest a coalesced message may wait before its frame is flushed")
 	seed := flag.Int64("seed", 1, "master seed (must match the coordinator)")
 	full := flag.Bool("full", false, "full-size parameters")
 	latency := flag.Duration("latency", 0, "injected one-way latency per message")
@@ -44,10 +50,15 @@ func main() {
 		window.Push(ds.FillSample(r, *id))
 	}
 
+	if *group < 0 || *group >= transport.MaxGroups {
+		fail(fmt.Errorf("group id %d out of range [0, %d)", *group, transport.MaxGroups))
+	}
 	opts := transport.Options{
 		Latency:              *latency,
 		MaxReconnectAttempts: *reconnects,
 		ReconnectBase:        *reconnectBase,
+		Group:                transport.GroupID(*group),
+		Batch:                transport.BatchOptions{MaxBytes: *batchBytes, MaxDelay: *batchDelay},
 	}
 	if *obsAddr != "" {
 		opts.Metrics = obs.NewRegistry()

@@ -57,3 +57,18 @@ func TestWANChaosSmoke(t *testing.T) {
 		t.Fatalf("wan chaos run did not report fault injection:\n%s", out)
 	}
 }
+
+func TestMultitenantSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	out := runExample(t, "examples/multitenant", "-rounds", "15")
+	for _, want := range []string{"group 0", "group 1", "group 2", "frames"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multitenant summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("a group's estimate left its ε bound:\n%s", out)
+	}
+}

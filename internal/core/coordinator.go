@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"automon/internal/linalg"
 	"automon/internal/obs"
@@ -78,15 +79,24 @@ type Config struct {
 	// cache lookups. 0 means DefaultZoneCacheQuantum; larger values hit more
 	// often but reuse bounds computed for a reference point further away.
 	ZoneCacheQuantum float64
-	// ZoneBuilder, when set, replaces ADCD entirely with a hand-crafted safe
-	// zone (used to plug GM baselines such as Convex Bound into the same
-	// protocol). Such zones are delivered to nodes in-memory.
-	ZoneBuilder func(f *Function, x0 []float64, l, u float64) *SafeZone
-	// ThresholdFloor is the minimum half-width of the (L, U) interval under
-	// Multiplicative error: when ε·|f(x0)| falls below it, thresholds become
-	// f(x0) ∓ ThresholdFloor instead of collapsing to a point. 0 means
-	// DefaultThresholdFloor; negative disables the guard entirely.
-	ThresholdFloor float64
+	// SharedZoneCache, when set, replaces the private per-coordinator zone
+	// cache with a process-wide one: a multi-tenant coordinator shares a
+	// single LRU across all of its monitoring groups so the memory bound
+	// (the cache capacity) is global rather than per group. ZoneCacheSize is
+	// ignored when a shared cache is supplied; set ZoneCacheScope to keep the
+	// groups' keys disjoint.
+	SharedZoneCache *ZoneCache
+	// ZoneCacheScope is prefixed to every zone-cache key this coordinator
+	// writes. Coordinators sharing one SharedZoneCache must use distinct
+	// scopes — quantized (x0, r) coordinates from different functions would
+	// otherwise alias.
+	ZoneCacheScope string
+	// MetricsLabels, when non-empty, is a rendered label set (e.g.
+	// `group="2"`) merged into every coordinator metric name registered in
+	// Metrics. A multi-tenant process uses it to keep per-group series
+	// apart in one shared registry; the zero value preserves the unlabeled
+	// single-tenant names.
+	MetricsLabels string
 	// Metrics, when set, registers the coordinator's protocol counters in
 	// this registry so they are scraped by the obs HTTP endpoints. When nil
 	// the coordinator keeps private (unregistered) counters; Stats() reads
@@ -96,6 +106,15 @@ type Config struct {
 	// syncs, r-doublings, deaths, rejoins). Nil disables tracing at the cost
 	// of a single nil check per event.
 	Tracer *obs.Tracer
+	// ZoneBuilder, when set, replaces ADCD entirely with a hand-crafted safe
+	// zone (used to plug GM baselines such as Convex Bound into the same
+	// protocol). Such zones are delivered to nodes in-memory.
+	ZoneBuilder func(f *Function, x0 []float64, l, u float64) *SafeZone
+	// ThresholdFloor is the minimum half-width of the (L, U) interval under
+	// Multiplicative error: when ε·|f(x0)| falls below it, thresholds become
+	// f(x0) ∓ ThresholdFloor instead of collapsing to a point. 0 means
+	// DefaultThresholdFloor; negative disables the guard entirely.
+	ThresholdFloor float64
 }
 
 // NodeComm abstracts the coordinator→node side of the messaging fabric. The
@@ -155,30 +174,51 @@ type coordObs struct {
 	tracer *obs.Tracer
 }
 
+// labeledName merges a rendered extra label set into a metric name that may
+// or may not already carry labels:
+//
+//	labeledName(`automon_x_total`, `group="1"`)              → automon_x_total{group="1"}
+//	labeledName(`automon_x_total{kind="a"}`, `group="1"`)    → automon_x_total{kind="a",group="1"}
+//
+// An empty extra returns the name unchanged, preserving the historical
+// single-tenant series names.
+func labeledName(name, extra string) string {
+	if extra == "" {
+		return name
+	}
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + extra + "}"
+	}
+	return name + "{" + extra + "}"
+}
+
 // newCoordObs creates the instruments, registered in reg when non-nil. With
 // a nil registry the counters are standalone: same cost, just unscraped.
-func newCoordObs(reg *obs.Registry, tracer *obs.Tracer) coordObs {
+// A non-empty labels set (Config.MetricsLabels) is merged into every series
+// name so multiple coordinators can share one registry.
+func newCoordObs(reg *obs.Registry, tracer *obs.Tracer, labels string) coordObs {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	name := func(n string) string { return labeledName(n, labels) }
 	const violHelp = "protocol violations handled by the coordinator, by kind"
 	return coordObs{
-		fullSyncs:    reg.Counter("automon_coordinator_full_syncs_total", "full synchronizations performed"),
-		lazyAttempts: reg.Counter("automon_coordinator_lazy_sync_attempts_total", "lazy-sync balancing attempts"),
-		lazyResolved: reg.Counter("automon_coordinator_lazy_syncs_resolved_total", "safe-zone violations resolved without a full sync"),
-		neighViol:    reg.Counter(`automon_coordinator_violations_total{kind="neighborhood"}`, violHelp),
-		szViol:       reg.Counter(`automon_coordinator_violations_total{kind="safe_zone"}`, violHelp),
-		faultyViol:   reg.Counter(`automon_coordinator_violations_total{kind="faulty"}`, violHelp),
-		rDoublings:   reg.Counter("automon_coordinator_r_doublings_total", "§3.6 neighborhood-size doublings"),
-		nodeDeaths:   reg.Counter("automon_coordinator_node_deaths_total", "nodes marked dead by the fabric"),
-		rejoins:      reg.Counter("automon_coordinator_rejoins_total", "nodes re-admitted after a death"),
-		eigsolves:    reg.Counter("automon_coordinator_eigensolves_total", "eigensolver evaluations performed by the ADCD-X search"),
-		zcHits:       reg.Counter("automon_coordinator_zone_cache_hits_total", "full syncs that reused a cached ADCD-X decomposition"),
-		zcMisses:     reg.Counter("automon_coordinator_zone_cache_misses_total", "full syncs that ran the eigenvalue search with the zone cache enabled"),
-		liveNodes:    reg.Gauge("automon_coordinator_live_nodes", "nodes currently considered reachable"),
-		radius:       reg.Gauge("automon_coordinator_neighborhood_radius", "current ADCD-X neighborhood size r"),
-		estimate:     reg.Gauge("automon_coordinator_estimate", "current approximation of f over the live-node average"),
-		lazySet:      reg.Histogram("automon_coordinator_balancing_set_size", "nodes pulled into each resolved lazy sync", []float64{1, 2, 4, 8, 16, 32, 64}),
+		fullSyncs:    reg.Counter(name("automon_coordinator_full_syncs_total"), "full synchronizations performed"),
+		lazyAttempts: reg.Counter(name("automon_coordinator_lazy_sync_attempts_total"), "lazy-sync balancing attempts"),
+		lazyResolved: reg.Counter(name("automon_coordinator_lazy_syncs_resolved_total"), "safe-zone violations resolved without a full sync"),
+		neighViol:    reg.Counter(name(`automon_coordinator_violations_total{kind="neighborhood"}`), violHelp),
+		szViol:       reg.Counter(name(`automon_coordinator_violations_total{kind="safe_zone"}`), violHelp),
+		faultyViol:   reg.Counter(name(`automon_coordinator_violations_total{kind="faulty"}`), violHelp),
+		rDoublings:   reg.Counter(name("automon_coordinator_r_doublings_total"), "§3.6 neighborhood-size doublings"),
+		nodeDeaths:   reg.Counter(name("automon_coordinator_node_deaths_total"), "nodes marked dead by the fabric"),
+		rejoins:      reg.Counter(name("automon_coordinator_rejoins_total"), "nodes re-admitted after a death"),
+		eigsolves:    reg.Counter(name("automon_coordinator_eigensolves_total"), "eigensolver evaluations performed by the ADCD-X search"),
+		zcHits:       reg.Counter(name("automon_coordinator_zone_cache_hits_total"), "full syncs that reused a cached ADCD-X decomposition"),
+		zcMisses:     reg.Counter(name("automon_coordinator_zone_cache_misses_total"), "full syncs that ran the eigenvalue search with the zone cache enabled"),
+		liveNodes:    reg.Gauge(name("automon_coordinator_live_nodes"), "nodes currently considered reachable"),
+		radius:       reg.Gauge(name("automon_coordinator_neighborhood_radius"), "current ADCD-X neighborhood size r"),
+		estimate:     reg.Gauge(name("automon_coordinator_estimate"), "current approximation of f over the live-node average"),
+		lazySet:      reg.Histogram(name("automon_coordinator_balancing_set_size"), "nodes pulled into each resolved lazy sync", []float64{1, 2, 4, 8, 16, 32, 64}),
 		tracer:       tracer,
 	}
 }
@@ -207,9 +247,12 @@ type Coordinator struct {
 	lru         []int // least recently balanced first
 	consecNeigh int
 
-	// zoneCache caches ADCD-X decompositions keyed by quantized (x0, r);
-	// nil when Config.ZoneCacheSize is 0.
-	zoneCache   *zoneCache
+	// zoneCache caches ADCD-X decompositions keyed by quantized (x0, r) —
+	// either a private LRU (Config.ZoneCacheSize) or a process-wide one
+	// shared across groups (Config.SharedZoneCache). Nil when caching is
+	// off. zoneScope prefixes every key this coordinator writes.
+	zoneCache   *ZoneCache
+	zoneScope   string
 	zoneQuantum float64
 
 	// Liveness: dead nodes are excluded from syncs, from the reference-point
@@ -258,7 +301,7 @@ func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator 
 		Cfg:  cfg,
 		comm: comm,
 		r:    cfg.R,
-		obs:  newCoordObs(cfg.Metrics, cfg.Tracer),
+		obs:  newCoordObs(cfg.Metrics, cfg.Tracer, cfg.MetricsLabels),
 	}
 	c.obs.liveNodes.Set(float64(n))
 	c.obs.radius.Set(cfg.R)
@@ -267,8 +310,13 @@ func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator 
 	if c.Cfg.Decomp.EigsolveCounter == nil {
 		c.Cfg.Decomp.EigsolveCounter = c.obs.eigsolves
 	}
-	if cfg.ZoneCacheSize > 0 {
-		c.zoneCache = newZoneCache(cfg.ZoneCacheSize)
+	if cfg.SharedZoneCache != nil {
+		c.zoneCache = cfg.SharedZoneCache
+	} else if cfg.ZoneCacheSize > 0 {
+		c.zoneCache = NewZoneCache(cfg.ZoneCacheSize)
+	}
+	if c.zoneCache != nil {
+		c.zoneScope = cfg.ZoneCacheScope
 		c.zoneQuantum = cfg.ZoneCacheQuantum
 		if c.zoneQuantum <= 0 {
 			c.zoneQuantum = DefaultZoneCacheQuantum
@@ -641,7 +689,7 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 		var dec *XDecomposition
 		var key string
 		if c.zoneCache != nil {
-			key = quantizeKey(c.x0, c.r, c.zoneQuantum)
+			key = quantizeKey(c.zoneScope, c.x0, c.r, c.zoneQuantum)
 			if cached, ok := c.zoneCache.get(key); ok {
 				c.obs.zcHits.Inc()
 				dec = cached

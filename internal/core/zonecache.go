@@ -3,13 +3,14 @@ package core
 import (
 	"math"
 	"strconv"
+	"sync"
 )
 
 // DefaultZoneCacheQuantum is the grid size used to quantize (x0, r) for
 // decomposition-cache keys when Config.ZoneCacheQuantum is zero.
 const DefaultZoneCacheQuantum = 1e-2
 
-// zoneCache is a small LRU of ADCD-X decomposition artifacts keyed by the
+// ZoneCache is a small LRU of ADCD-X decomposition artifacts keyed by the
 // quantized (x0, r) of a full sync. Reusing an entry skips the eigenvalue
 // search; the quantization means the cached Lemma-1 bounds were computed for
 // a reference point up to one quantum away, which the protocol tolerates the
@@ -18,22 +19,39 @@ const DefaultZoneCacheQuantum = 1e-2
 // sync. Thresholds, f0 and ∇f0 are never cached — BuildZoneXFrom recomputes
 // them exactly for the true x0.
 //
-// The cache is used only from the coordinator's single-threaded sync path,
-// so it needs no locking.
-type zoneCache struct {
+// A ZoneCache is safe for concurrent use: a multi-tenant coordinator process
+// shares one cache across every monitoring group (Config.SharedZoneCache),
+// with each group's keys disambiguated by Config.ZoneCacheScope. A private
+// per-coordinator cache pays the same (uncontended) mutex.
+type ZoneCache struct {
+	mu   sync.Mutex
 	cap  int
 	keys []string // LRU order: least recently used first
 	vals map[string]*XDecomposition
 }
 
-func newZoneCache(capacity int) *zoneCache {
-	return &zoneCache{cap: capacity, vals: make(map[string]*XDecomposition, capacity)}
+// NewZoneCache creates a cache bounded to capacity entries. Capacity must be
+// positive.
+func NewZoneCache(capacity int) *ZoneCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &ZoneCache{cap: capacity, vals: make(map[string]*XDecomposition, capacity)}
+}
+
+// Len returns the current number of cached decompositions.
+func (zc *ZoneCache) Len() int {
+	zc.mu.Lock()
+	defer zc.mu.Unlock()
+	return len(zc.keys)
 }
 
 // quantizeKey maps (x0, r) onto a grid of pitch q and renders the grid
-// coordinates as the cache key.
-func quantizeKey(x0 []float64, r, q float64) string {
-	b := make([]byte, 0, 16*(len(x0)+1))
+// coordinates as the cache key, prefixed by the owning coordinator's scope
+// so groups sharing one cache never collide.
+func quantizeKey(scope string, x0 []float64, r, q float64) string {
+	b := make([]byte, 0, len(scope)+16*(len(x0)+1))
+	b = append(b, scope...)
 	b = strconv.AppendInt(b, int64(math.Round(r/q)), 10)
 	for _, v := range x0 {
 		b = append(b, ',')
@@ -42,7 +60,9 @@ func quantizeKey(x0 []float64, r, q float64) string {
 	return string(b)
 }
 
-func (zc *zoneCache) get(key string) (*XDecomposition, bool) {
+func (zc *ZoneCache) get(key string) (*XDecomposition, bool) {
+	zc.mu.Lock()
+	defer zc.mu.Unlock()
 	dec, ok := zc.vals[key]
 	if ok {
 		zc.touch(key)
@@ -50,7 +70,9 @@ func (zc *zoneCache) get(key string) (*XDecomposition, bool) {
 	return dec, ok
 }
 
-func (zc *zoneCache) put(key string, dec *XDecomposition) {
+func (zc *ZoneCache) put(key string, dec *XDecomposition) {
+	zc.mu.Lock()
+	defer zc.mu.Unlock()
 	if _, ok := zc.vals[key]; ok {
 		zc.vals[key] = dec
 		zc.touch(key)
@@ -65,7 +87,8 @@ func (zc *zoneCache) put(key string, dec *XDecomposition) {
 	zc.vals[key] = dec
 }
 
-func (zc *zoneCache) touch(key string) {
+// touch is called with zc.mu held.
+func (zc *ZoneCache) touch(key string) {
 	for i, k := range zc.keys {
 		if k == key {
 			copy(zc.keys[i:], zc.keys[i+1:])

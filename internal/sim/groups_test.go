@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"automon/internal/core"
+	"automon/internal/funcs"
+	"automon/internal/obs"
+	"automon/internal/stream"
+)
+
+// bitsEqual compares two float64 series for bit-identity.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func groupConfigs(reg *obs.Registry) []Config {
+	return []Config{
+		{F: funcs.InnerProduct(4), Data: stream.InnerProductPhases(4, 5, 120, 1),
+			Algorithm: AutoMon, Core: core.Config{Epsilon: 0.3}, Trace: true, Metrics: reg},
+		{F: funcs.SqNorm(3), Data: stream.GaussianNoise(3, 4, 100, 1, 0.2, 2),
+			Algorithm: AutoMon, Core: core.Config{Epsilon: 0.5}, Trace: true, Metrics: reg},
+		{F: funcs.InnerProduct(4), Data: stream.InnerProductPhases(4, 5, 120, 3),
+			Algorithm: Centralization, Core: core.Config{Epsilon: 0.1}, Trace: true, Metrics: reg},
+	}
+}
+
+// TestRunGroupsMatchesSoloRuns pins the isolation contract of the concurrent
+// runner: every group's result — messages, bytes, protocol stats, and the
+// full per-round estimate trace — is bit-identical to a solo Run of the same
+// config.
+func TestRunGroupsMatchesSoloRuns(t *testing.T) {
+	reg := obs.NewRegistry()
+	grouped, err := RunGroups(groupConfigs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solos := groupConfigs(nil)
+	for i, cfg := range solos {
+		solo, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("solo run %d: %v", i, err)
+		}
+		g := grouped[i]
+		if g.Messages != solo.Messages || g.PayloadBytes != solo.PayloadBytes {
+			t.Errorf("group %d traffic diverged: %d msgs/%d B vs solo %d msgs/%d B",
+				i, g.Messages, g.PayloadBytes, solo.Messages, solo.PayloadBytes)
+		}
+		if g.Stats != solo.Stats {
+			t.Errorf("group %d protocol stats diverged: %+v vs %+v", i, g.Stats, solo.Stats)
+		}
+		if !bitsEqual(g.EstTrace, solo.EstTrace) {
+			t.Errorf("group %d estimate trace not bit-identical to solo run", i)
+		}
+		if !bitsEqual(g.ErrTrace, solo.ErrTrace) {
+			t.Errorf("group %d error trace not bit-identical to solo run", i)
+		}
+	}
+}
+
+// TestRunGroupsLabelsSharedRegistry pins the metric-collision guard: groups
+// sharing a registry without their own label set get distinct group labels on
+// both the sim counters and the coordinator metrics.
+func TestRunGroupsLabelsSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	if _, err := RunGroups(groupConfigs(reg)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, want := range []string{
+		`automon_sim_messages_total{group="0"}`,
+		`automon_sim_messages_total{group="1"}`,
+		`automon_sim_messages_total{group="2"}`,
+		`automon_coordinator_full_syncs_total{group="0"}`,
+		`automon_coordinator_full_syncs_total{group="1"}`,
+	} {
+		if _, ok := snap[want]; !ok {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+	// Group traffic must not have accumulated into one unlabeled series.
+	for name := range snap {
+		if name == "automon_sim_messages_total" {
+			t.Error("unlabeled shared sim counter present despite per-group labels")
+		}
+	}
+}
+
+// TestRunGroupsPropagatesErrors pins error reporting: a broken group config
+// fails the whole call with the group index in the error.
+func TestRunGroupsPropagatesErrors(t *testing.T) {
+	if _, err := RunGroups(nil); err == nil {
+		t.Fatal("empty group list accepted")
+	}
+	cfgs := groupConfigs(nil)
+	cfgs[1].Data = nil
+	_, err := RunGroups(cfgs)
+	if err == nil {
+		t.Fatal("broken group accepted")
+	}
+	if !strings.Contains(err.Error(), "group 1") {
+		t.Fatalf("error does not name the failing group: %v", err)
+	}
+}

@@ -49,18 +49,29 @@ func waitQuiesce(coord *Coordinator, nodes []*NodeClient) {
 	}
 }
 
-// checkStatsIdentity asserts Wire = Payload + Messages·(header+overhead) on
-// both directions of one endpoint's counters. Faults may make the two sides
-// of a link disagree (dropped and duplicated frames), but each side's own
-// accounting must never go inconsistent.
+// checkStatsIdentity asserts the accounting identity
+// Wire = Payload + Frames·(header+overhead) + BatchOverhead on both
+// directions of one endpoint's counters. Faults may make the two sides of a
+// link disagree (dropped and duplicated frames), but each side's own
+// accounting must never go inconsistent. Without batching every message is
+// its own frame (Frames == Messages, BatchOverhead == 0), so this is the
+// historical per-message identity.
 func checkStatsIdentity(t *testing.T, name string, s *TrafficStats) {
 	t.Helper()
-	const perMsg = int64(frameHeader + perMessageWireOverhead)
-	if got, want := s.WireSent.Load(), s.PayloadSent.Load()+s.MessagesSent.Load()*perMsg; got != want {
+	const perFrame = int64(frameHeader + perMessageWireOverhead)
+	if got, want := s.WireSent.Load(),
+		s.PayloadSent.Load()+s.FramesSent.Load()*perFrame+s.BatchOverheadSent.Load(); got != want {
 		t.Errorf("%s: send identity broken: wire=%d, payload+overhead=%d", name, got, want)
 	}
-	if got, want := s.WireReceived.Load(), s.PayloadReceived.Load()+s.MessagesReceived.Load()*perMsg; got != want {
+	if got, want := s.WireReceived.Load(),
+		s.PayloadReceived.Load()+s.FramesReceived.Load()*perFrame+s.BatchOverheadReceived.Load(); got != want {
 		t.Errorf("%s: recv identity broken: wire=%d, payload+overhead=%d", name, got, want)
+	}
+	if s.FramesSent.Load() > s.MessagesSent.Load() {
+		t.Errorf("%s: more frames than messages sent", name)
+	}
+	if s.FramesReceived.Load() > s.MessagesReceived.Load() {
+		t.Errorf("%s: more frames than messages received", name)
 	}
 }
 

@@ -27,12 +27,13 @@ type NodeClient struct {
 	ID    int
 	Stats TrafficStats
 
-	addr    string
-	opts    Options
-	writeMu sync.Mutex
+	addr string
+	opts Options
+	v2   bool // frames carry the group tag (wire v2)
 
-	stateMu sync.Mutex // guards conn, err, closed
+	stateMu sync.Mutex // guards conn, w, err, closed
 	conn    net.Conn
+	w       *frameWriter
 	err     error
 	closed  bool
 
@@ -58,7 +59,9 @@ type NodeClient struct {
 }
 
 // DialNode connects to the coordinator, registers node id with its initial
-// local vector, and starts serving coordinator messages.
+// local vector, and starts serving coordinator messages. A non-zero
+// Options.Group (or enabled batching) upgrades the client to wire v2 so its
+// frames carry the group tag; the coordinator answers in the same version.
 func DialNode(addr string, id int, f *core.Function, initial []float64, opts Options) (*NodeClient, error) {
 	opts.defaults()
 	conn, err := opts.Dial("tcp", addr, opts.DialTimeout)
@@ -74,6 +77,7 @@ func DialNode(addr string, id int, f *core.Function, initial []float64, opts Opt
 		addr:     addr,
 		conn:     conn,
 		opts:     opts,
+		v2:       opts.Group != 0 || opts.Batch.enabled(),
 		node:     core.NewNode(id, f),
 		resolved: make(chan struct{}, 1),
 		ready:    make(chan struct{}),
@@ -81,7 +85,11 @@ func DialNode(addr string, id int, f *core.Function, initial []float64, opts Opt
 		closeCh:  make(chan struct{}),
 		rng:      rand.New(rand.NewSource(seed)),
 	}
+	c.w = newFrameWriter(conn, opts.Group, c.v2, opts, &c.Stats)
 	nodeLabel := fmt.Sprintf(`node="%d"`, id)
+	if opts.Group != 0 {
+		nodeLabel = fmt.Sprintf(`node="%d",group="%d"`, id, opts.Group)
+	}
 	c.Stats.Bind(opts.Metrics, `side="node",`+nodeLabel, opts.Tracer, id)
 	c.tracer = opts.Tracer
 	c.reconnects = counterOr(opts.Metrics,
@@ -95,7 +103,7 @@ func DialNode(addr string, id int, f *core.Function, initial []float64, opts Opt
 		"Jittered reconnect backoff sleeps.",
 		[]float64{0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 5})
 	c.node.SetData(initial)
-	if err := writeFrame(conn, &core.DataResponse{NodeID: id, X: initial}, opts.Latency, opts.WriteTimeout, &c.Stats, &c.writeMu); err != nil {
+	if err := c.w.writeMsg(&core.DataResponse{NodeID: id, X: initial}, true); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -127,9 +135,17 @@ func (c *NodeClient) currentConn() net.Conn {
 	return c.conn
 }
 
-// setConn installs a fresh connection; returns false if the client was
-// closed while dialing (the connection is then discarded).
-func (c *NodeClient) setConn(conn net.Conn) bool {
+// currentWriter snapshots the active connection's frame writer (nil after
+// Close).
+func (c *NodeClient) currentWriter() *frameWriter {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.w
+}
+
+// setConn installs a fresh connection and its writer; returns false if the
+// client was closed while dialing (the connection is then discarded).
+func (c *NodeClient) setConn(conn net.Conn, w *frameWriter) bool {
 	c.stateMu.Lock()
 	if c.closed {
 		c.stateMu.Unlock()
@@ -137,6 +153,7 @@ func (c *NodeClient) setConn(conn net.Conn) bool {
 		return false
 	}
 	c.conn = conn
+	c.w = w
 	c.stateMu.Unlock()
 	return true
 }
@@ -147,19 +164,19 @@ func (c *NodeClient) isClosed() bool {
 	return c.closed
 }
 
-// send writes one frame on the current connection. On failure the
-// connection is closed so the run loop notices and recycles it; the message
-// itself is not retried — the post-rejoin full sync restores consistency.
+// send writes one message on the current connection. Node messages are
+// always urgent — the coordinator is actively waiting on each of them (a
+// data response completes a pull, a violation blocks in Update) — so they
+// flush immediately rather than coalescing. On failure the writer has
+// closed the connection, so the run loop notices and recycles it; the
+// message itself is not retried — the post-rejoin full sync restores
+// consistency.
 func (c *NodeClient) send(m core.Message) error {
-	conn := c.currentConn()
-	if conn == nil {
+	w := c.currentWriter()
+	if w == nil {
 		return errNotConnected
 	}
-	if err := writeFrame(conn, m, c.opts.Latency, c.opts.WriteTimeout, &c.Stats, &c.writeMu); err != nil {
-		conn.Close()
-		return err
-	}
-	return nil
+	return w.writeMsg(m, true)
 }
 
 // serve reads coordinator messages on the current connection until it dies.
@@ -169,42 +186,58 @@ func (c *NodeClient) serve() error {
 		return errNotConnected
 	}
 	for {
-		m, err := readFrame(conn, 0, &c.Stats)
+		fb, err := readAnyFrame(conn, 0, &c.Stats)
 		if err != nil {
 			conn.Close()
 			return err
 		}
-		switch msg := m.(type) {
-		case *core.DataRequest:
-			c.mu.Lock()
-			x := c.node.LocalVector()
-			c.mu.Unlock()
-			// A failed reply closes the connection; the read above will
-			// surface it on the next loop.
-			//automon:allow erreig best-effort send: a failed frame is recovered by the reconnect/full-sync path, not the caller
-			_ = c.send(&core.DataResponse{NodeID: c.ID, X: x})
-		case *core.Sync:
-			c.mu.Lock()
-			c.node.ApplySync(msg)
-			c.reported = false // this resolution consumes the outstanding report
-			c.mu.Unlock()
-			c.readyOne.Do(func() { close(c.ready) })
-			c.recheck()
-			c.signalResolved()
-		case *core.Slack:
-			c.mu.Lock()
-			c.node.ApplySlack(msg)
-			c.reported = false
-			c.mu.Unlock()
-			c.recheck()
-			c.signalResolved()
-		default:
-			// A corrupt or misrouted stream; recycle the connection rather
-			// than dying — the rejoin full sync re-establishes a clean state.
+		if fb.v2 && fb.group != c.opts.Group {
+			// A frame for another group on this connection means the stream
+			// is misrouted; recycle the connection rather than dying.
 			conn.Close()
-			return fmt.Errorf("transport: node %d received unexpected %v", c.ID, m.Type())
+			return fmt.Errorf("transport: node %d received frame for group %d", c.ID, fb.group)
+		}
+		for _, m := range fb.msgs {
+			if err := c.handleMsg(conn, m); err != nil {
+				return err
+			}
 		}
 	}
+}
+
+// handleMsg processes one coordinator message.
+func (c *NodeClient) handleMsg(conn net.Conn, m core.Message) error {
+	switch msg := m.(type) {
+	case *core.DataRequest:
+		c.mu.Lock()
+		x := c.node.LocalVector()
+		c.mu.Unlock()
+		// A failed reply closes the connection; the frame read loop will
+		// surface it on the next iteration.
+		//automon:allow erreig best-effort send: a failed frame is recovered by the reconnect/full-sync path, not the caller
+		_ = c.send(&core.DataResponse{NodeID: c.ID, X: x})
+	case *core.Sync:
+		c.mu.Lock()
+		c.node.ApplySync(msg)
+		c.reported = false // this resolution consumes the outstanding report
+		c.mu.Unlock()
+		c.readyOne.Do(func() { close(c.ready) })
+		c.recheck()
+		c.signalResolved()
+	case *core.Slack:
+		c.mu.Lock()
+		c.node.ApplySlack(msg)
+		c.reported = false
+		c.mu.Unlock()
+		c.recheck()
+		c.signalResolved()
+	default:
+		// A corrupt or misrouted stream; recycle the connection rather
+		// than dying — the rejoin full sync re-establishes a clean state.
+		conn.Close()
+		return fmt.Errorf("transport: node %d received unexpected %v", c.ID, m.Type())
+	}
+	return nil
 }
 
 // reconnect re-establishes the coordinator connection with exponential
@@ -235,9 +268,10 @@ func (c *NodeClient) reconnect(cause error) error {
 			// rejoin full sync re-evaluates the constraints from scratch.
 			c.reported = false
 			c.mu.Unlock()
-			err = writeFrame(conn, &core.Rejoin{NodeID: c.ID, X: x}, c.opts.Latency, c.opts.WriteTimeout, &c.Stats, &c.writeMu)
+			w := newFrameWriter(conn, c.opts.Group, c.v2, c.opts, &c.Stats)
+			err = w.writeMsg(&core.Rejoin{NodeID: c.ID, X: x}, true)
 			if err == nil {
-				if !c.setConn(conn) {
+				if !c.setConn(conn, w) {
 					return cause
 				}
 				c.reconnects.Inc()

@@ -13,14 +13,18 @@
 // from lazy-sync balancing, and the estimate degrades to the live-node
 // average (Coordinator.Degraded) instead of the whole run dying on the
 // first dropped frame.
+//
+// The fabric is also multi-tenant: one coordinator process can host many
+// independent monitoring groups (one function and node roster each) behind
+// a single listener, routing frames by the GroupID carried in the wire-v2
+// batch framing (see frame.go and multi.go). Outbound messages to the same
+// peer can be coalesced into batch frames under a flush policy
+// (Options.Batch), cutting per-message syscall, header, and simulated-WAN
+// overhead on the violation-resolution hot path.
 package transport
 
 import (
-	"bytes"
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -31,10 +35,11 @@ import (
 )
 
 // perMessageWireOverhead approximates Ethernet + IP + TCP header bytes per
-// message (small AutoMon messages fit one segment each).
+// frame (small AutoMon frames fit one segment each; a batch frame pays it
+// once for all the messages it carries).
 const perMessageWireOverhead = 66
 
-// frameHeader is the length prefix added to every message.
+// frameHeader is the length prefix added to every frame.
 const frameHeader = 4
 
 // maxFrameLen caps the declared length of a frame; anything larger is a
@@ -82,13 +87,17 @@ func histogramOr(reg *obs.Registry, name, help string, bounds []float64) *obs.Hi
 // TrafficStats counts one side's traffic. The fields are obs counters (views
 // over the same instruments a registry scrape reads), updated atomically and
 // safe for concurrent reads via Load. The accounting identity
-// Wire = Payload + Messages·(frameHeader + perMessageWireOverhead) holds on
-// both directions at all times, including under injected faults.
+//
+//	Wire = Payload + Frames·(frameHeader + perMessageWireOverhead) + BatchOverhead
+//
+// holds on both directions at all times, including under injected faults.
+// Without batching every message is its own frame and BatchOverhead is zero,
+// so the identity reduces to the historical per-message form.
 //
 // The zero value works: counters are created lazily on first use. Bind
 // attaches the counters to a registry (and optionally a tracer for per-frame
 // events) and must be called before the endpoint starts concurrent I/O —
-// ListenCoordinator and DialNode do this during construction.
+// ListenCoordinator, ListenMulti and DialNode do this during construction.
 type TrafficStats struct {
 	MessagesSent     *obs.Counter
 	MessagesReceived *obs.Counter
@@ -96,6 +105,14 @@ type TrafficStats struct {
 	PayloadReceived  *obs.Counter
 	WireSent         *obs.Counter
 	WireReceived     *obs.Counter
+	// FramesSent/FramesReceived count physical frames. Equal to the message
+	// counters when batching is off; lower when coalescing merges messages.
+	FramesSent     *obs.Counter
+	FramesReceived *obs.Counter
+	// BatchOverheadSent/BatchOverheadReceived count the wire-v2 batch header
+	// and per-message sub-header bytes, so the wire identity stays exact.
+	BatchOverheadSent     *obs.Counter
+	BatchOverheadReceived *obs.Counter
 
 	once   sync.Once
 	tracer *obs.Tracer
@@ -110,6 +127,8 @@ func (s *TrafficStats) ensure() {
 			&s.MessagesSent, &s.MessagesReceived,
 			&s.PayloadSent, &s.PayloadReceived,
 			&s.WireSent, &s.WireReceived,
+			&s.FramesSent, &s.FramesReceived,
+			&s.BatchOverheadSent, &s.BatchOverheadReceived,
 		} {
 			if *c == nil {
 				*c = obs.NewCounter()
@@ -133,9 +152,11 @@ func (s *TrafficStats) Bind(reg *obs.Registry, labelSet string, tracer *obs.Trac
 		return "{" + extra + "," + labelSet + "}"
 	}
 	const (
-		msgsHelp    = "Frames exchanged by a transport endpoint."
+		msgsHelp    = "Messages exchanged by a transport endpoint."
 		payloadHelp = "Encoded message payload bytes, the paper's payload series."
 		wireHelp    = "Estimated wire bytes including framing and TCP/IP overhead."
+		framesHelp  = "Physical frames exchanged; batching coalesces messages into fewer frames."
+		batchHelp   = "Wire-v2 batch header bytes, part of the wire-byte identity."
 	)
 	reg.RegisterCounter("automon_transport_messages_total"+lbl(`dir="sent"`), msgsHelp, s.MessagesSent)
 	reg.RegisterCounter("automon_transport_messages_total"+lbl(`dir="recv"`), msgsHelp, s.MessagesReceived)
@@ -143,27 +164,68 @@ func (s *TrafficStats) Bind(reg *obs.Registry, labelSet string, tracer *obs.Trac
 	reg.RegisterCounter("automon_transport_payload_bytes_total"+lbl(`dir="recv"`), payloadHelp, s.PayloadReceived)
 	reg.RegisterCounter("automon_transport_wire_bytes_total"+lbl(`dir="sent"`), wireHelp, s.WireSent)
 	reg.RegisterCounter("automon_transport_wire_bytes_total"+lbl(`dir="recv"`), wireHelp, s.WireReceived)
+	reg.RegisterCounter("automon_transport_frames_total"+lbl(`dir="sent"`), framesHelp, s.FramesSent)
+	reg.RegisterCounter("automon_transport_frames_total"+lbl(`dir="recv"`), framesHelp, s.FramesReceived)
+	reg.RegisterCounter("automon_transport_batch_overhead_bytes_total"+lbl(`dir="sent"`), batchHelp, s.BatchOverheadSent)
+	reg.RegisterCounter("automon_transport_batch_overhead_bytes_total"+lbl(`dir="recv"`), batchHelp, s.BatchOverheadReceived)
 }
 
+// countSend accounts one v1 frame carrying one message.
 func (s *TrafficStats) countSend(payload int, msgType string) {
 	s.ensure()
 	s.MessagesSent.Inc()
+	s.FramesSent.Inc()
 	s.PayloadSent.Add(int64(payload))
 	s.WireSent.Add(int64(payload + frameHeader + perMessageWireOverhead))
 	s.tracer.Record(obs.EventFrameSent, s.peer, float64(payload), msgType)
 }
 
+// countRecv accounts one v1 frame carrying one message.
 func (s *TrafficStats) countRecv(payload int, msgType string) {
 	s.ensure()
 	s.MessagesReceived.Inc()
+	s.FramesReceived.Inc()
 	s.PayloadReceived.Add(int64(payload))
 	s.WireReceived.Add(int64(payload + frameHeader + perMessageWireOverhead))
 	s.tracer.Record(obs.EventFrameReceived, s.peer, float64(payload), msgType)
 }
 
+// countSendBatch accounts one v2 batch frame: per-message payload counts and
+// trace events, one frame, and the batch header bytes that keep the wire
+// identity exact.
+func (s *TrafficStats) countSendBatch(sizes []int, types []string) {
+	s.ensure()
+	total := 0
+	for i, sz := range sizes {
+		s.MessagesSent.Inc()
+		s.PayloadSent.Add(int64(sz))
+		s.tracer.Record(obs.EventFrameSent, s.peer, float64(sz), types[i])
+		total += sz
+	}
+	over := batchHdrLen + len(sizes)*batchSubHeader
+	s.FramesSent.Inc()
+	s.BatchOverheadSent.Add(int64(over))
+	s.WireSent.Add(int64(total + over + frameHeader + perMessageWireOverhead))
+}
+
+// countRecvBatch is countSendBatch for the inbound direction.
+func (s *TrafficStats) countRecvBatch(msgs []core.Message, sizes []int, total int) {
+	s.ensure()
+	for i, m := range msgs {
+		s.MessagesReceived.Inc()
+		s.PayloadReceived.Add(int64(sizes[i]))
+		s.tracer.Record(obs.EventFrameReceived, s.peer, float64(sizes[i]), m.Type().String())
+	}
+	over := batchHdrLen + len(msgs)*batchSubHeader
+	s.FramesReceived.Inc()
+	s.BatchOverheadReceived.Add(int64(over))
+	s.WireReceived.Add(int64(total + over + frameHeader + perMessageWireOverhead))
+}
+
 // Options configure both endpoints.
 type Options struct {
-	// Latency is the injected one-way delay per message (0 = none).
+	// Latency is the injected one-way delay per frame (0 = none). Batching
+	// pays it once per frame, which is exactly the saving a real WAN gives.
 	Latency time.Duration
 	// DialTimeout bounds node connection attempts (default 5s).
 	DialTimeout time.Duration
@@ -196,6 +258,21 @@ type Options struct {
 	// Dial replaces net.DialTimeout for node connections. The chaos package
 	// uses it to interpose fault-injecting connections.
 	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+	// Group is the monitoring group a NodeClient belongs to. A non-zero
+	// group (or enabled batching) upgrades the client's outbound framing to
+	// wire v2 so every frame carries the group tag; group 0 with batching
+	// off keeps the legacy v1 framing byte-for-byte.
+	Group GroupID
+	// Batch configures outbound frame batching (see BatchOptions). The zero
+	// value disables coalescing; enabling it upgrades the endpoint's
+	// outbound framing to wire v2 for peers that negotiated v2.
+	Batch BatchOptions
+	// RegisterWorkers bounds how many registration handshakes a coordinator
+	// listener processes concurrently — the shared goroutine pool of a
+	// multi-tenant process, sized independently of how many groups it
+	// hosts. 0 means 32.
+	RegisterWorkers int
 
 	// Metrics, when set, receives every transport and protocol instrument of
 	// the endpoint (scraped via obs.Serve). Nil leaves the counters
@@ -231,90 +308,31 @@ func (o *Options) defaults() {
 	if o.ReconnectMax <= 0 {
 		o.ReconnectMax = 2 * time.Second
 	}
+	if o.RegisterWorkers <= 0 {
+		o.RegisterWorkers = 32
+	}
 	if o.Dial == nil {
 		o.Dial = net.DialTimeout
 	}
 }
 
-// writeFrame sends one length-prefixed message after the simulated one-way
-// latency. The header and payload go out in a single Write so that a frame
-// is the atomic unit a fault injector can drop or duplicate without
-// desynchronizing the stream.
-func writeFrame(conn net.Conn, m core.Message, latency, timeout time.Duration, stats *TrafficStats, mu *sync.Mutex) error {
-	payload := m.Encode()
-	if len(payload) > maxFrameLen {
-		return fmt.Errorf("%w: encoding %d bytes", errFrameTooLarge, len(payload))
-	}
-	if latency > 0 {
-		time.Sleep(latency)
-	}
-	buf := make([]byte, frameHeader+len(payload))
-	binary.LittleEndian.PutUint32(buf[:frameHeader], uint32(len(payload)))
-	copy(buf[frameHeader:], payload)
-	mu.Lock()
-	defer mu.Unlock()
-	if timeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(timeout))
-		defer conn.SetWriteDeadline(time.Time{})
-	}
-	if _, err := conn.Write(buf); err != nil {
-		return err
-	}
-	stats.countSend(len(payload), m.Type().String())
-	return nil
-}
-
-// readFrame reads one length-prefixed message, with an optional deadline
-// (0 = block until the peer speaks or the connection dies).
-func readFrame(conn net.Conn, timeout time.Duration, stats *TrafficStats) (core.Message, error) {
-	if timeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(timeout))
-		defer conn.SetReadDeadline(time.Time{})
-	}
-	return decodeFrame(conn, stats)
-}
-
-// decodeFrame reads one frame from r. Allocation tracks delivered bytes, so
-// a hostile or truncated length prefix costs at most initialFrameAlloc.
-func decodeFrame(r io.Reader, stats *TrafficStats) (core.Message, error) {
-	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > maxFrameLen {
-		return nil, fmt.Errorf("%w: declared %d bytes", errFrameTooLarge, n)
-	}
-	var body bytes.Buffer
-	grow := int(n)
-	if grow > initialFrameAlloc {
-		grow = initialFrameAlloc
-	}
-	body.Grow(grow)
-	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, err
-	}
-	m, err := core.Decode(body.Bytes())
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errMalformedFrame, err)
-	}
-	stats.countRecv(int(n), m.Type().String())
-	return m, nil
-}
-
-// Coordinator runs the AutoMon coordinator behind a TCP listener. Create it
-// with ListenCoordinator, wait for Ready, and read Estimate while nodes
-// stream updates. Node connections may come and go: a lost node is marked
-// dead and the estimate degrades to the live-node average until it rejoins.
+// Coordinator runs the AutoMon coordinator for one monitoring group. Create
+// it with ListenCoordinator (a dedicated single-group listener, the legacy
+// entry point) or MultiCoordinator.AddGroup (one group of a multi-tenant
+// process); wait for Ready, and read Estimate while nodes stream updates.
+// Node connections may come and go: a lost node is marked dead and the
+// estimate degrades to the live-node average until it rejoins.
 type Coordinator struct {
-	ln    net.Listener
-	f     *core.Function
-	n     int
-	cfg   core.Config
-	opts  Options
+	srv  *MultiCoordinator
+	gid  GroupID
+	f    *core.Function
+	n    int
+	cfg  core.Config
+	opts Options
+	// Stats counts this group's traffic. Under ListenCoordinator it is the
+	// whole endpoint's traffic (including registration reads); under a
+	// MultiCoordinator it covers the group's connections after registration,
+	// with registration reads accounted on MultiCoordinator.Stats.
 	Stats TrafficStats
 
 	deadlineHits   *obs.Counter // data-request round trips that timed out
@@ -324,9 +342,8 @@ type Coordinator struct {
 	mu    sync.Mutex // guards coord (single resolution at a time)
 	coord *core.Coordinator
 
-	connsMu     sync.Mutex // guards conns, pending, registered, initStarted
+	connsMu     sync.Mutex // guards conns, registered, initStarted
 	conns       []*coordConn
-	pending     map[net.Conn]struct{}
 	registered  int
 	initStarted bool
 
@@ -334,7 +351,7 @@ type Coordinator struct {
 	violCh chan *core.Violation
 	deadCh chan int
 	done   chan struct{}
-	err    atomic.Value // first fatal error
+	err    atomic.Value // first fatal error of this group
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
@@ -342,7 +359,7 @@ type Coordinator struct {
 type coordConn struct {
 	id       int
 	conn     net.Conn
-	writeMu  sync.Mutex
+	w        *frameWriter
 	dataCh   chan *core.DataResponse
 	gone     chan struct{} // closed when this connection's reader exits
 	goneOnce sync.Once
@@ -359,51 +376,28 @@ func (cc *coordConn) isGone() bool {
 	}
 }
 
-// ListenCoordinator starts a coordinator for n nodes on addr (use
-// "127.0.0.1:0" for tests). Nodes must connect and register; Ready closes
-// after the initial full sync completes.
+// ListenCoordinator starts a single-group coordinator for n nodes on addr
+// (use "127.0.0.1:0" for tests). Nodes must connect and register; Ready
+// closes after the initial full sync completes. Internally this is a
+// MultiCoordinator hosting exactly group 0 in strict mode: frames for any
+// other group are the hostile-peer error they always were.
 func ListenCoordinator(addr string, f *core.Function, n int, cfg core.Config, opts Options) (*Coordinator, error) {
 	opts.defaults()
-	ln, err := net.Listen("tcp", addr)
+	mc, err := newMulti(addr, opts, true)
 	if err != nil {
 		return nil, err
 	}
-	// The core coordinator inherits the endpoint's registry and tracer unless
-	// the caller wired its own into the core config.
-	if cfg.Metrics == nil {
-		cfg.Metrics = opts.Metrics
+	c, err := mc.addGroup(0, f, n, cfg)
+	if err != nil {
+		mc.ln.Close()
+		return nil, err
 	}
-	if cfg.Tracer == nil {
-		cfg.Tracer = opts.Tracer
-	}
-	c := &Coordinator{
-		ln:      ln,
-		f:       f,
-		n:       n,
-		cfg:     cfg,
-		opts:    opts,
-		conns:   make([]*coordConn, n),
-		pending: make(map[net.Conn]struct{}),
-		ready:   make(chan struct{}),
-		// Nodes keep at most one violation report outstanding, and the
-		// dispatcher coalesces the queue per node, so the buffer only needs
-		// to absorb short bursts; it keeps connection readers from ever
-		// blocking on the resolution lock (which would deadlock the
-		// data-request round-trips inside a resolution).
-		violCh: make(chan *core.Violation, 64*n),
-		deadCh: make(chan int, 4*n),
-		done:   make(chan struct{}),
-	}
+	// The sole group's stats are the endpoint's stats: registration reads
+	// and per-connection traffic all land on the same instance, preserving
+	// the single-tenant accounting exactly.
+	mc.stats = &c.Stats
 	c.Stats.Bind(opts.Metrics, `side="coordinator"`, opts.Tracer, -1)
-	c.tracer = opts.Tracer
-	c.deadlineHits = counterOr(opts.Metrics, "automon_transport_request_timeouts_total",
-		"Data-request round trips that exceeded RequestTimeout (node recycled).")
-	c.shedViolations = counterOr(opts.Metrics, "automon_transport_shed_violations_total",
-		"Violation reports dropped because a resolution storm filled the queue.")
-	c.wg.Add(1)
-	go c.acceptLoop()
-	c.wg.Add(1)
-	go c.dispatch()
+	mc.start()
 	return c, nil
 }
 
@@ -414,6 +408,11 @@ func ListenCoordinator(addr string, f *core.Function, n int, cfg core.Config, op
 // out can prompt still-out-of-zone nodes to re-report, so only each node's
 // freshest report is worth resolving — older ones carry stale vectors and
 // would only multiply work.
+//
+// The dispatch queue draining is also the batching sync barrier: once no
+// violation is waiting, every writer's pending batch is flushed so no node
+// blocks on a sync stranded in a buffer. While a resolution storm is in
+// flight, consecutive syncs to the same node coalesce into shared frames.
 func (c *Coordinator) dispatch() {
 	defer c.wg.Done()
 	pending := make(map[int]*core.Violation)
@@ -435,6 +434,7 @@ func (c *Coordinator) dispatch() {
 	}
 	for {
 		if len(order) == 0 {
+			c.flushAll()
 			select {
 			case <-c.done:
 				return
@@ -468,6 +468,29 @@ func (c *Coordinator) dispatch() {
 	}
 }
 
+// flushAll drains every live connection's pending batch — the explicit
+// barrier of the flush policy. A no-op when batching is disabled.
+func (c *Coordinator) flushAll() {
+	if !c.opts.Batch.enabled() {
+		return
+	}
+	c.connsMu.Lock()
+	conns := make([]*coordConn, 0, len(c.conns))
+	for _, cc := range c.conns {
+		if cc != nil && !cc.isGone() {
+			conns = append(conns, cc)
+		}
+	}
+	c.connsMu.Unlock()
+	for _, cc := range conns {
+		if err := cc.w.flush(); err != nil {
+			// The writer closed the connection; its reader reports the death
+			// through the usual liveness path.
+			continue
+		}
+	}
+}
+
 // handleDead folds a connection death into the core coordinator: the node is
 // marked dead and the survivors re-synced, so the estimate degrades to the
 // live-node average. If a newer connection already took the slot (a fast
@@ -491,19 +514,22 @@ func (c *Coordinator) handleDead(id int) {
 }
 
 // Addr returns the listen address (for nodes to dial).
-func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+func (c *Coordinator) Addr() string { return c.srv.Addr() }
+
+// Group returns this coordinator's group id (0 under ListenCoordinator).
+func (c *Coordinator) Group() GroupID { return c.gid }
 
 // Ready is closed once all nodes registered and the initial sync finished.
 func (c *Coordinator) Ready() <-chan struct{} { return c.ready }
 
-// Err returns the first fatal error, if any. Connection churn is not fatal;
-// only listener failures, hostile peers, and safe-zone construction errors
-// are.
+// Err returns the first fatal error, if any — of this group or of the
+// shared listener. Connection churn is not fatal; only listener failures,
+// hostile peers, and safe-zone construction errors are.
 func (c *Coordinator) Err() error {
 	if e := c.err.Load(); e != nil {
 		return e.(error)
 	}
-	return nil
+	return c.srv.Err()
 }
 
 // Estimate returns the coordinator's current approximation of f over the
@@ -545,24 +571,36 @@ func (c *Coordinator) CoordStats() core.CoordStats {
 	return c.coord.Stats()
 }
 
-// Close stops the listener and all connections.
+// Close stops the group. Under ListenCoordinator (where the group owns the
+// listener) it stops the whole endpoint; under a MultiCoordinator it closes
+// only this group's connections and dispatcher — other tenants keep running.
 func (c *Coordinator) Close() {
+	if c.srv.single {
+		c.srv.Close()
+		return
+	}
+	c.closeGroup()
+}
+
+// closeGroup tears down this group's connections and dispatcher.
+func (c *Coordinator) closeGroup() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	c.ln.Close()
 	c.connsMu.Lock()
 	for _, cc := range c.conns {
 		if cc != nil {
 			cc.conn.Close()
 		}
 	}
-	for conn := range c.pending {
-		conn.Close()
-	}
 	c.connsMu.Unlock()
 	close(c.done)
 	c.wg.Wait()
+}
+
+// shutdown reports whether this group or the shared endpoint is closing.
+func (c *Coordinator) shutdown() bool {
+	return c.closed.Load() || c.srv.closed.Load()
 }
 
 func (c *Coordinator) fatal(err error) {
@@ -571,67 +609,12 @@ func (c *Coordinator) fatal(err error) {
 	}
 }
 
-func (c *Coordinator) acceptLoop() {
-	defer c.wg.Done()
-	for {
-		conn, err := c.ln.Accept()
-		if err != nil {
-			if !c.closed.Load() {
-				c.fatal(err)
-			}
-			return
-		}
-		c.connsMu.Lock()
-		c.pending[conn] = struct{}{}
-		c.connsMu.Unlock()
-		c.wg.Add(1)
-		go c.handleNewConn(conn)
-	}
-}
-
-// handleNewConn reads the first frame of a fresh connection: a DataResponse
-// registers a node for the first time, a Rejoin re-registers one after a
-// connection loss. I/O errors here are survivable churn (the node will
-// retry); a peer that delivers a *well-formed but wrong* registration, or
-// frames that cannot be parsed at all, is hostile and fatal.
-func (c *Coordinator) handleNewConn(conn net.Conn) {
-	defer c.wg.Done()
-	m, err := readFrame(conn, c.opts.RegisterTimeout, &c.Stats)
-	c.connsMu.Lock()
-	delete(c.pending, conn)
-	c.connsMu.Unlock()
-	if err != nil {
-		conn.Close()
-		if !c.closed.Load() && isProtocolError(err) {
-			c.fatal(fmt.Errorf("transport: registration read: %w", err))
-		}
-		return
-	}
-	var id int
-	var x []float64
-	switch reg := m.(type) {
-	case *core.DataResponse:
-		id, x = reg.NodeID, reg.X
-	case *core.Rejoin:
-		id, x = reg.NodeID, reg.X
-	default:
-		conn.Close()
-		c.fatal(fmt.Errorf("transport: bad registration message %v", m.Type()))
-		return
-	}
-	if id < 0 || id >= c.n {
-		conn.Close()
-		c.fatal(errors.New("transport: bad registration message"))
-		return
-	}
-	c.register(id, conn, x)
-}
-
 // register installs a connection for node id, kicks off the initial sync
 // when it completes the roster, and reintegrates rejoining nodes with a full
-// sync.
-func (c *Coordinator) register(id int, conn net.Conn, x []float64) {
-	cc := &coordConn{id: id, conn: conn, dataCh: make(chan *core.DataResponse, 4), gone: make(chan struct{})}
+// sync. The writer carries the wire version negotiated from the node's
+// registration frame, so the coordinator always answers in kind.
+func (c *Coordinator) register(id int, conn net.Conn, w *frameWriter, x []float64) {
+	cc := &coordConn{id: id, conn: conn, w: w, dataCh: make(chan *core.DataResponse, 4), gone: make(chan struct{})}
 	c.connsMu.Lock()
 	old := c.conns[id]
 	c.conns[id] = cc
@@ -662,28 +645,35 @@ func (c *Coordinator) register(id int, conn net.Conn, x []float64) {
 			c.fatal(err)
 			return
 		}
+		// Barrier: the initial syncs must reach every node before Ready.
+		c.flushAll()
 		close(c.ready)
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.coord == nil {
+		c.mu.Unlock()
 		return // pre-init replacement; Init will pull from the new conn
 	}
-	if err := c.coord.HandleRejoin(id, x); err != nil && !errors.Is(err, core.ErrNoLiveNodes) {
+	err := c.coord.HandleRejoin(id, x)
+	c.mu.Unlock()
+	if err != nil && !errors.Is(err, core.ErrNoLiveNodes) {
 		c.fatal(err)
+		return
 	}
+	// Barrier: the rejoin full sync is complete; deliver its messages.
+	c.flushAll()
 }
 
 func (c *Coordinator) serveConn(cc *coordConn) {
 	defer c.wg.Done()
 	defer cc.markGone()
 	for {
-		m, err := readFrame(cc.conn, 0, &c.Stats)
+		fb, err := readAnyFrame(cc.conn, 0, &c.Stats)
 		if err != nil {
 			cc.conn.Close()
 			cc.markGone()
-			if c.closed.Load() {
+			if c.shutdown() {
 				return
 			}
 			c.connsMu.Lock()
@@ -697,31 +687,45 @@ func (c *Coordinator) serveConn(cc *coordConn) {
 			}
 			return
 		}
-		switch msg := m.(type) {
-		case *core.DataResponse:
-			// Never block the reader; duplicates beyond the buffer are
-			// dropped (RequestData drains stale entries before each request).
-			select {
-			case cc.dataCh <- msg:
-			default:
-			}
-		case *core.Violation:
-			// A full queue means a resolution storm is already in progress;
-			// its fan-out will make this node re-check and re-report, so the
-			// report is safe to shed.
-			select {
-			case c.violCh <- msg:
-			default:
-				c.shedViolations.Inc()
-			}
-		case *core.Rejoin:
-			// A duplicated registration frame (the rejoin that opened this
-			// connection, delivered twice by a faulty link); already handled.
-		default:
-			// Anything else means the stream is corrupt; recycle the
-			// connection and let the node rejoin.
+		if fb.v2 && fb.group != c.gid {
+			// A registered connection suddenly speaking for another group
+			// means the peer is confused; recycle the connection and let the
+			// node rejoin cleanly.
 			cc.conn.Close()
+			continue
 		}
+		for _, m := range fb.msgs {
+			c.route(cc, m)
+		}
+	}
+}
+
+// route handles one inbound message on a registered connection.
+func (c *Coordinator) route(cc *coordConn, m core.Message) {
+	switch msg := m.(type) {
+	case *core.DataResponse:
+		// Never block the reader; duplicates beyond the buffer are
+		// dropped (RequestData drains stale entries before each request).
+		select {
+		case cc.dataCh <- msg:
+		default:
+		}
+	case *core.Violation:
+		// A full queue means a resolution storm is already in progress;
+		// its fan-out will make this node re-check and re-report, so the
+		// report is safe to shed.
+		select {
+		case c.violCh <- msg:
+		default:
+			c.shedViolations.Inc()
+		}
+	case *core.Rejoin:
+		// A duplicated registration frame (the rejoin that opened this
+		// connection, delivered twice by a faulty link); already handled.
+	default:
+		// Anything else means the stream is corrupt; recycle the
+		// connection and let the node rejoin.
+		cc.conn.Close()
 	}
 }
 
@@ -767,7 +771,9 @@ func (s *socketComm) RequestData(id int) []float64 {
 		}
 		break
 	}
-	if err := writeFrame(cc.conn, &core.DataRequest{NodeID: id}, s.c.opts.Latency, s.c.opts.WriteTimeout, &s.c.Stats, &cc.writeMu); err != nil {
+	// Urgent: the round trip blocks the resolution, so the request (and any
+	// syncs buffered before it — order is preserved) must leave now.
+	if err := cc.w.writeMsg(&core.DataRequest{NodeID: id}, true); err != nil {
 		cc.conn.Close()
 		s.noteDead(id)
 		return nil
@@ -800,13 +806,16 @@ func (s *socketComm) SendSlack(id int, m *core.Slack) {
 	s.send(id, m)
 }
 
+// send delivers a sync or slack message. These are flow messages a node
+// waits on only until the resolution wave ends, so they are batchable: the
+// dispatch barrier (or MaxBytes/MaxDelay) flushes them.
 func (s *socketComm) send(id int, m core.Message) {
 	cc := s.lookup(id)
 	if cc == nil {
 		s.noteDead(id)
 		return
 	}
-	if err := writeFrame(cc.conn, m, s.c.opts.Latency, s.c.opts.WriteTimeout, &s.c.Stats, &cc.writeMu); err != nil {
+	if err := cc.w.writeMsg(m, false); err != nil {
 		cc.conn.Close()
 		s.noteDead(id)
 	}
