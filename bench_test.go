@@ -206,16 +206,22 @@ func benchNodeUpdate(b *testing.B, f *core.Function) {
 // eigenvalue search.
 func BenchmarkFullSync(b *testing.B) {
 	cases := []struct {
-		name  string
-		f     *core.Function
-		power bool
+		name    string
+		f       *core.Function
+		power   bool
+		backend core.EigBackend
 	}{
-		{"adcd-e-inner-product-d40", funcs.InnerProduct(20), false},
-		{"adcd-x-kld-d20", funcs.KLD(10, 1e-3), false},
-		{"adcd-x-kld-d100", funcs.KLD(50, 1e-3), false},
+		{"adcd-e-inner-product-d40", funcs.InnerProduct(20), false, core.BackendLBFGS},
+		{"adcd-x-kld-d20", funcs.KLD(10, 1e-3), false, core.BackendLBFGS},
+		{"adcd-x-kld-d100", funcs.KLD(50, 1e-3), false, core.BackendLBFGS},
 		// §6 ablation: the power-iteration spectrum estimator replaces the
 		// dense Hessian + eigendecomposition inside the same sync.
-		{"adcd-x-kld-d100-power", funcs.KLD(50, 1e-3), true},
+		{"adcd-x-kld-d100-power", funcs.KLD(50, 1e-3), true, core.BackendLBFGS},
+		// Eigen-engine comparison on the same sync: the certified interval
+		// backend replaces the L-BFGS search; the hybrid may run both.
+		{"adcd-x-kld-d20-interval", funcs.KLD(10, 1e-3), false, core.BackendInterval},
+		{"adcd-x-kld-d20-hybrid", funcs.KLD(10, 1e-3), false, core.BackendHybrid},
+		{"adcd-x-kld-d100-interval", funcs.KLD(50, 1e-3), false, core.BackendInterval},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
@@ -234,7 +240,7 @@ func BenchmarkFullSync(b *testing.B) {
 				Epsilon: 0.1, R: 0.1,
 				Decomp: core.DecompOptions{
 					Seed: 1, OptStarts: 1, OptMaxIter: 20, OptMaxFunEvals: 100,
-					UsePowerIteration: c.power,
+					UsePowerIteration: c.power, Backend: c.backend,
 				},
 			}, benchComm{nodes})
 			if err := coord.Init(); err != nil {
@@ -249,6 +255,44 @@ func BenchmarkFullSync(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDecomposeX isolates one ADCD-X decomposition per eigen-engine —
+// the tightness-vs-build-cost frontier's cost axis (automon-bench
+// -fig frontier renders both axes).
+func BenchmarkDecomposeX(b *testing.B) {
+	mlp, err := funcs.TrainMLP(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		f    *core.Function
+		r    float64
+	}{
+		{"kld-d20", funcs.KLD(10, 1e-3), 0.05},
+		{"mlp-d8", mlp, 0.3},
+	} {
+		d := c.f.Dim()
+		x0 := make([]float64, d)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for i := range x0 {
+			x0[i] = 0.3
+			lo[i], hi[i] = 0.3-c.r, 0.3+c.r
+		}
+		for _, backend := range []core.EigBackend{core.BackendLBFGS, core.BackendInterval, core.BackendHybrid} {
+			b.Run(c.name+"-"+backend.String(), func(b *testing.B) {
+				opts := core.DecompOptions{Seed: 1, OptStarts: 1, Backend: backend}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.DecomposeX(c.f, x0, lo, hi, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

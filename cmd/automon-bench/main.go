@@ -16,19 +16,30 @@ import (
 	"os"
 	"time"
 
+	"automon/internal/core"
 	"automon/internal/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 4, 5, 6, 7a, 7b, 8, 9, 10, runtime, or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 4, 5, 6, 7a, 7b, 8, 9, 10, runtime, frontier, or "all"`)
 	full := flag.Bool("full", false, "use full-size parameters (slow) instead of the quick defaults")
 	seed := flag.Int64("seed", 1, "master seed for data generation and optimizers")
 	latency := flag.Duration("latency", 0, "injected one-way latency for the figure-10 WAN runs (e.g. 28ms)")
 	telemetry := flag.String("telemetry", "", "write per-run metric snapshots as JSON to this file")
 	parallel := flag.Int("parallel", 0, "worker goroutines for sweep runs and tuning replays (0 = one per core, 1 = sequential); tables are identical at any setting")
+	eigBackend := flag.String("eig-backend", "", `eigen-engine for ADCD-X zone builds: "lbfgs" (default), "interval" (certified), or "hybrid"`)
+	hybridSlack := flag.Float64("hybrid-slack", 0, "hybrid escalation threshold (0 = default, negative = never refine); only meaningful with -eig-backend hybrid")
 	flag.Parse()
 
-	o := experiments.Options{Quick: !*full, Seed: *seed, Workers: *parallel}
+	backend, err := core.ParseEigBackend(*eigBackend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "automon-bench: %v\n", err)
+		os.Exit(2)
+	}
+	o := experiments.Options{
+		Quick: !*full, Seed: *seed, Workers: *parallel,
+		EigBackend: backend, HybridSlack: *hybridSlack,
+	}
 	if *telemetry != "" {
 		o.Telemetry = &experiments.Telemetry{}
 	}
@@ -49,6 +60,7 @@ func main() {
 		{"9", func() (*experiments.Table, error) { return experiments.Fig9Ablation(o) }},
 		{"10", func() (*experiments.Table, error) { return experiments.Fig10Bandwidth(o, *latency) }},
 		{"runtime", func() (*experiments.Table, error) { return experiments.RuntimeTable(o) }},
+		{"frontier", func() (*experiments.Table, error) { return experiments.BackendFrontier(o) }},
 	}
 
 	ran := false

@@ -39,9 +39,15 @@ func main() {
 	batchDelay := flag.Duration("batch-delay", 0, "longest a coalesced message may wait before its frame is flushed")
 	report := flag.Duration("report", 2*time.Second, "estimate reporting interval")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics, /debug/vars, /debug/events, and /debug/pprof (empty = disabled)")
+	eigBackend := flag.String("eig-backend", "", `eigen-engine for ADCD-X zone builds: "lbfgs" (default), "interval" (certified), or "hybrid"`)
+	hybridSlack := flag.Float64("hybrid-slack", 0, "hybrid escalation threshold (0 = default, negative = never refine)")
 	flag.Parse()
 
-	o := experiments.Options{Quick: !*full, Seed: *seed}
+	backend, err := core.ParseEigBackend(*eigBackend)
+	if err != nil {
+		fail(err)
+	}
+	o := experiments.Options{Quick: !*full, Seed: *seed, EigBackend: backend, HybridSlack: *hybridSlack}
 	opts := transport.Options{
 		Latency: *latency,
 		Batch:   transport.BatchOptions{MaxBytes: *batchBytes, MaxDelay: *batchDelay},

@@ -11,15 +11,38 @@ import (
 )
 
 // hotpathManifest is the reviewed list of //automon:hotpath roots: the PR-3
-// zero-allocation entry points of the monitoring loop. Adding an annotation
-// anywhere in the module without extending this list — or dropping one — is a
-// deliberate decision this test forces into review.
+// zero-allocation entry points of the monitoring loop, plus the interval
+// eigen-engine's inner arithmetic (the per-node loops of the certified
+// Hessian enclosure — pooled scratch, no per-op allocation). Adding an
+// annotation anywhere in the module without extending this list — or
+// dropping one — is a deliberate decision this test forces into review.
 var hotpathManifest = map[string]bool{
 	"core.Node.UpdateData":          true,
 	"core.SafeZone.ContainsScratch": true,
 	"autodiff.Graph.Value":          true,
 	"autodiff.Graph.Grad":           true,
 	"autodiff.Graph.Hessian":        true,
+	"interval.Evaluator.hvpBasis":   true,
+	"interval.ivalDualForward":      true,
+	"interval.ivalDualPartials":     true,
+	"interval.Interval.Add":         true,
+	"interval.Interval.Sub":         true,
+	"interval.Interval.Neg":         true,
+	"interval.Interval.Mul":         true,
+	"interval.Interval.Div":         true,
+	"interval.Interval.Square":      true,
+	"interval.Interval.Powi":        true,
+	"interval.Interval.Exp":         true,
+	"interval.Interval.Log":         true,
+	"interval.Interval.Sqrt":        true,
+	"interval.Interval.Tanh":        true,
+	"interval.Interval.Sigmoid":     true,
+	"interval.Interval.Relu":        true,
+	"interval.Interval.Step":        true,
+	"interval.Interval.Abs":         true,
+	"interval.Interval.Sign":        true,
+	"interval.Interval.Sin":         true,
+	"interval.Interval.Cos":         true,
 }
 
 // annotatedHotpathFuncs parses every non-test file of the module and returns

@@ -1,0 +1,33 @@
+package autodiff
+
+// Read-only structural access to a compiled graph, for external evaluators
+// that re-interpret the program under a different arithmetic (e.g.
+// internal/interval's certified Hessian enclosures). The node order exposed
+// here is the topological storage order every evaluation pass in this
+// package uses, so an external pass that mirrors forward/adjoint loops over
+// NodeSpecs computes bit-identical results at degenerate inputs.
+
+// NodeSpec is a read-only view of one graph node. A and B are child node
+// indices into the topological order, or -1 when the slot is unused (unary
+// ops, constants, variables). K carries the constant value (OpConst), the
+// variable index (OpVar), or the integer exponent (OpPowi).
+type NodeSpec struct {
+	Op   Op
+	A, B int32
+	K    float64
+}
+
+// AppendNodeSpecs appends one NodeSpec per node in topological order and
+// returns the extended slice.
+func (g *Graph) AppendNodeSpecs(dst []NodeSpec) []NodeSpec {
+	for _, n := range g.nodes {
+		dst = append(dst, NodeSpec{Op: n.op, A: int32(n.a), B: int32(n.b), K: n.k})
+	}
+	return dst
+}
+
+// OutputIndex returns the node index holding the graph's output.
+func (g *Graph) OutputIndex() int { return int(g.out) }
+
+// VarNodeIndex returns the node index holding variable i.
+func (g *Graph) VarNodeIndex(i int) int { return int(g.vars[i]) }

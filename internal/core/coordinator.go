@@ -148,6 +148,16 @@ type CoordStats struct {
 	Eigensolves            int
 	ZoneCacheHits          int
 	ZoneCacheMisses        int
+
+	// Eigen-engine provenance: fresh ADCD-X decompositions by backend, the
+	// hybrid escalations that ran the L-BFGS search, and the eigensolves
+	// performed inside the search (BackendInterval keeps OptEvals at zero —
+	// the counter-verified "no optimizer work" claim).
+	EigBoundBuildsLBFGS    int
+	EigBoundBuildsInterval int
+	EigBoundBuildsHybrid   int
+	HybridRefines          int
+	OptEvals               int
 }
 
 // coordObs bundles the coordinator's observability instruments. Counters are
@@ -165,6 +175,11 @@ type coordObs struct {
 	eigsolves    *obs.Counter
 	zcHits       *obs.Counter
 	zcMisses     *obs.Counter
+	ebLBFGS      *obs.Counter
+	ebInterval   *obs.Counter
+	ebHybrid     *obs.Counter
+	ebRefines    *obs.Counter
+	ebOptEvals   *obs.Counter
 
 	liveNodes *obs.Gauge
 	radius    *obs.Gauge
@@ -202,6 +217,7 @@ func newCoordObs(reg *obs.Registry, tracer *obs.Tracer, labels string) coordObs 
 	}
 	name := func(n string) string { return labeledName(n, labels) }
 	const violHelp = "protocol violations handled by the coordinator, by kind"
+	const eigboundHelp = "fresh ADCD-X decompositions built, by eigen-engine backend"
 	return coordObs{
 		fullSyncs:    reg.Counter(name("automon_coordinator_full_syncs_total"), "full synchronizations performed"),
 		lazyAttempts: reg.Counter(name("automon_coordinator_lazy_sync_attempts_total"), "lazy-sync balancing attempts"),
@@ -215,6 +231,11 @@ func newCoordObs(reg *obs.Registry, tracer *obs.Tracer, labels string) coordObs 
 		eigsolves:    reg.Counter(name("automon_coordinator_eigensolves_total"), "eigensolver evaluations performed by the ADCD-X search"),
 		zcHits:       reg.Counter(name("automon_coordinator_zone_cache_hits_total"), "full syncs that reused a cached ADCD-X decomposition"),
 		zcMisses:     reg.Counter(name("automon_coordinator_zone_cache_misses_total"), "full syncs that ran the eigenvalue search with the zone cache enabled"),
+		ebLBFGS:      reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="lbfgs"}`), eigboundHelp),
+		ebInterval:   reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="interval"}`), eigboundHelp),
+		ebHybrid:     reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="hybrid"}`), eigboundHelp),
+		ebRefines:    reg.Counter(name("automon_coordinator_eigbound_hybrid_refines_total"), "hybrid eigen-engine escalations that ran the L-BFGS search on top of the interval certificate"),
+		ebOptEvals:   reg.Counter(name("automon_coordinator_eigbound_opt_evals_total"), "eigensolver evaluations performed inside the L-BFGS search (zero under the interval backend)"),
 		liveNodes:    reg.Gauge(name("automon_coordinator_live_nodes"), "nodes currently considered reachable"),
 		radius:       reg.Gauge(name("automon_coordinator_neighborhood_radius"), "current ADCD-X neighborhood size r"),
 		estimate:     reg.Gauge(name("automon_coordinator_estimate"), "current approximation of f over the live-node average"),
@@ -281,7 +302,23 @@ func (c *Coordinator) Stats() CoordStats {
 		Eigensolves:            int(c.obs.eigsolves.Load()),
 		ZoneCacheHits:          int(c.obs.zcHits.Load()),
 		ZoneCacheMisses:        int(c.obs.zcMisses.Load()),
+		EigBoundBuildsLBFGS:    int(c.obs.ebLBFGS.Load()),
+		EigBoundBuildsInterval: int(c.obs.ebInterval.Load()),
+		EigBoundBuildsHybrid:   int(c.obs.ebHybrid.Load()),
+		HybridRefines:          int(c.obs.ebRefines.Load()),
+		OptEvals:               int(c.obs.ebOptEvals.Load()),
 	}
+}
+
+// eigboundBuilds returns the fresh-decomposition counter for a backend.
+func (o *coordObs) eigboundBuilds(b EigBackend) *obs.Counter {
+	switch b {
+	case BackendInterval:
+		return o.ebInterval
+	case BackendHybrid:
+		return o.ebHybrid
+	}
+	return o.ebLBFGS
 }
 
 // NewCoordinator creates a coordinator for n nodes over function f. The
@@ -309,6 +346,9 @@ func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator 
 	// unless the caller already wired a counter of their own.
 	if c.Cfg.Decomp.EigsolveCounter == nil {
 		c.Cfg.Decomp.EigsolveCounter = c.obs.eigsolves
+	}
+	if c.Cfg.Decomp.OptEvalCounter == nil {
+		c.Cfg.Decomp.OptEvalCounter = c.obs.ebOptEvals
 	}
 	if cfg.SharedZoneCache != nil {
 		c.zoneCache = cfg.SharedZoneCache
@@ -689,7 +729,7 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 		var dec *XDecomposition
 		var key string
 		if c.zoneCache != nil {
-			key = quantizeKey(c.zoneScope, c.x0, c.r, c.zoneQuantum)
+			key = quantizeKey(c.zoneScope, c.Cfg.Decomp.Backend, c.x0, c.r, c.zoneQuantum)
 			if cached, ok := c.zoneCache.get(key); ok {
 				c.obs.zcHits.Inc()
 				dec = cached
@@ -701,6 +741,10 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 			dec, err = DecomposeX(c.F, c.x0, bLo, bHi, c.Cfg.Decomp)
 			if err != nil {
 				return err
+			}
+			c.obs.eigboundBuilds(dec.Backend).Inc()
+			if dec.Refined {
+				c.obs.ebRefines.Inc()
 			}
 			if c.zoneCache != nil {
 				c.zoneCache.put(key, dec)

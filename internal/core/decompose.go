@@ -43,6 +43,20 @@ type DecompOptions struct {
 	// evaluation (a dense eigendecomposition, or one power-iteration solve).
 	// Memo hits are not counted — the counter measures actual solver work.
 	EigsolveCounter *obs.Counter
+	// Backend selects the eigen-engine bounding the extreme eigenvalues over
+	// the neighborhood box: the default L-BFGS multi-start search, the
+	// certified interval engine, or the hybrid (see EigBackend).
+	Backend EigBackend
+	// HybridSlack is the BackendHybrid escalation threshold: the L-BFGS
+	// refinement runs only when the certified range is wider than the H(x0)
+	// spectral spread by more than this. 0 means DefaultHybridSlack; negative
+	// disables refinement entirely (pure certificate).
+	HybridSlack float64
+	// OptEvalCounter, when non-nil, counts eigensolver evaluations performed
+	// *inside* the L-BFGS search (the x0 solve every backend needs for the
+	// §3.4 heuristic is excluded). BackendInterval leaves it untouched —
+	// that zero is the "no optimizer work" claim, counter-verified.
+	OptEvalCounter *obs.Counter
 }
 
 func (o *DecompOptions) defaults() {
@@ -262,6 +276,16 @@ func ExtremeEigsOverBox(f *Function, x0, lo, hi []float64, opts DecompOptions) (
 func extremeEigsOverBox(f *Function, x0, lo, hi []float64, opts DecompOptions, seedAtX0 *eigResult) (lamMin, lamMax float64, err error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	eigsAt := eigsAtFunc(f, opts)
+	if opts.OptEvalCounter != nil {
+		// Count search-driven eigensolves separately from the total: memo
+		// layers sit above this closure, so only actual solver work lands here.
+		inner := eigsAt
+		counter := opts.OptEvalCounter
+		eigsAt = func(x []float64) (float64, float64, []float64, []float64, error) {
+			counter.Inc()
+			return inner(x)
+		}
+	}
 	nStarts := opts.OptStarts
 
 	// Pre-draw the multi-start points in the legacy order (min-search extras
@@ -348,13 +372,24 @@ type XDecomposition struct {
 	LamPosMax float64 // λ⁺max over B (Lemma 1)
 	H0Min     float64 // λmin(H(x0)), §3.4 heuristic input
 	H0Max     float64 // λmax(H(x0)), §3.4 heuristic input
+
+	// Backend records which eigen-engine produced the Lemma-1 bounds.
+	Backend EigBackend
+	// Certified reports that [CertMin, CertMax] is a sound enclosure of
+	// every Hessian eigenvalue over B (interval and hybrid backends).
+	Certified        bool
+	CertMin, CertMax float64
+	// Refined reports that a hybrid escalation ran the L-BFGS search on top
+	// of the certificate.
+	Refined bool
 }
 
-// DecomposeX runs the ADCD-X eigenvalue search over [bLo, bHi] and returns
-// the decomposition artifacts. The eigensolve at x0 is computed once and
-// shared: it seeds every search task's memo (both searches evaluate x0
-// first) and, on the dense path, doubles as the H(x0) spectrum for the DC
-// heuristic — the sequential implementation solved each of those separately.
+// DecomposeX bounds the extreme Hessian eigenvalues over [bLo, bHi] with the
+// engine selected by opts.Backend and returns the decomposition artifacts.
+// The eigensolve at x0 is computed once and shared across every backend: it
+// provides the H(x0) spectrum for the §3.4 DC heuristic, seeds the L-BFGS
+// search memos (both searches evaluate x0 first), and calibrates the hybrid
+// escalation rule.
 func DecomposeX(f *Function, x0, bLo, bHi []float64, opts DecompOptions) (*XDecomposition, error) {
 	opts.defaults()
 	eigsAt := eigsAtFunc(f, opts)
@@ -362,7 +397,7 @@ func DecomposeX(f *Function, x0, bLo, bHi []float64, opts DecompOptions) (*XDeco
 	if err != nil {
 		return nil, err
 	}
-	seed := &eigResult{lamMin: lm0, lamMax: lM0, vMin: vMin0, vMax: vMax0}
+	spec := X0Spectrum{LamMin: lm0, LamMax: lM0, VMin: vMin0, VMax: vMax0}
 	h0Min, h0Max := lm0, lM0
 	if opts.UsePowerIteration {
 		// The searches use the power-iteration estimates, but the heuristic
@@ -374,20 +409,25 @@ func DecomposeX(f *Function, x0, bLo, bHi []float64, opts DecompOptions) (*XDeco
 			return nil, err
 		}
 	}
-	lamMin, lamMax, err := extremeEigsOverBox(f, x0, bLo, bHi, opts, seed)
+	res, err := BounderFor(opts.Backend).BoundEigs(f, x0, bLo, bHi, spec, opts)
 	if err != nil {
 		return nil, err
 	}
 	// Lemma 1: λ⁻min = min{0, λmin}, λ⁺max = max{0, λmax}.
 	lamAbsNeg := 0.0
-	if lamMin < 0 {
-		lamAbsNeg = -lamMin
+	if res.LamMin < 0 {
+		lamAbsNeg = -res.LamMin
 	}
 	return &XDecomposition{
 		LamAbsNeg: lamAbsNeg,
-		LamPosMax: math.Max(0, lamMax),
+		LamPosMax: math.Max(0, res.LamMax),
 		H0Min:     h0Min,
 		H0Max:     h0Max,
+		Backend:   opts.Backend,
+		Certified: res.Certified,
+		CertMin:   res.CertMin,
+		CertMax:   res.CertMax,
+		Refined:   res.Refined,
 	}, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"automon/internal/autodiff"
+	"automon/internal/interval"
 	"automon/internal/linalg"
 )
 
@@ -39,6 +40,9 @@ type Function struct {
 
 	tangentOnce sync.Once
 	tangent     *autodiff.Graph
+
+	intervalOnce sync.Once
+	intervalEval *interval.Evaluator
 
 	// eigScratch pools the 2d-length buffers used by EigGrad so repeated
 	// eigenvalue-gradient evaluations during decomposition allocate nothing.
@@ -83,6 +87,26 @@ func (f *Function) HasConstantHessian() bool { return f.Graph.HasConstantHessian
 func (f *Function) tangentGraph() *autodiff.Graph {
 	f.tangentOnce.Do(func() { f.tangent = f.Graph.Tangent() })
 	return f.tangent
+}
+
+// intervalEvaluator lazily compiles the interval re-interpretation of the
+// graph used by the certified eigen-engine (BackendInterval/BackendHybrid).
+func (f *Function) intervalEvaluator() *interval.Evaluator {
+	f.intervalOnce.Do(func() { f.intervalEval = interval.NewEvaluator(f.Graph) })
+	return f.intervalEval
+}
+
+// IntervalEigBounds computes certified extreme-eigenvalue bounds of the
+// Hessian over the box [lo, hi]: every eigenvalue of every H(x) with
+// lo ≤ x ≤ hi lies in the returned [lamMin, lamMax]. One interval Hessian
+// pass plus Gershgorin-family tightening — no optimization, no multi-start.
+func (f *Function) IntervalEigBounds(lo, hi []float64) (lamMin, lamMax float64, err error) {
+	e := f.intervalEvaluator()
+	m := interval.NewMat(f.Dim())
+	if err := e.Hessian(lo, hi, m); err != nil {
+		return 0, 0, err
+	}
+	return interval.EigBounds(m)
 }
 
 // ExtremeEigsAt computes the smallest and largest eigenvalue of H(x) along

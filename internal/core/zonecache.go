@@ -48,10 +48,15 @@ func (zc *ZoneCache) Len() int {
 
 // quantizeKey maps (x0, r) onto a grid of pitch q and renders the grid
 // coordinates as the cache key, prefixed by the owning coordinator's scope
-// so groups sharing one cache never collide.
-func quantizeKey(scope string, x0 []float64, r, q float64) string {
-	b := make([]byte, 0, len(scope)+16*(len(x0)+1))
+// so groups sharing one cache never collide, and by the eigen-engine backend
+// so A/B runs over the same schedule never reuse each other's bounds (an
+// L-BFGS estimate is not a certificate, and vice versa).
+func quantizeKey(scope string, backend EigBackend, x0 []float64, r, q float64) string {
+	b := make([]byte, 0, len(scope)+16*(len(x0)+1)+4)
 	b = append(b, scope...)
+	b = append(b, 'e')
+	b = strconv.AppendUint(b, uint64(backend), 10)
+	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(math.Round(r/q)), 10)
 	for _, v := range x0 {
 		b = append(b, ',')

@@ -46,6 +46,24 @@ type Options struct {
 	// core layers are deterministic at any worker count, so the tables are
 	// identical regardless of Workers.
 	Workers int
+	// EigBackend selects the eigen-engine for every ADCD-X zone build the
+	// suite performs (core.BackendLBFGS, the default multi-start search;
+	// core.BackendInterval, the certified interval engine; or
+	// core.BackendHybrid). automon-bench exposes it as -eig-backend.
+	EigBackend core.EigBackend
+	// HybridSlack is forwarded to core.DecompOptions.HybridSlack: the hybrid
+	// backend's escalation threshold (0 = core.DefaultHybridSlack, negative
+	// = never escalate).
+	HybridSlack float64
+}
+
+// decomp stamps the sweep-wide eigen-engine selection onto a workload's
+// decomposition options; every workload constructor routes its DecompOptions
+// through here so -eig-backend reaches each zone build the suite performs.
+func (o Options) decomp(d core.DecompOptions) core.DecompOptions {
+	d.Backend = o.EigBackend
+	d.HybridSlack = o.HybridSlack
+	return d
 }
 
 // forEach runs fn(0), …, fn(n−1) on up to `workers` goroutines (0 means
@@ -223,6 +241,7 @@ func InnerProductWorkload(o Options, d, nodes int) *Workload {
 		workers: o.Workers,
 		F:       funcs.InnerProduct(half),
 		Data:    stream.InnerProductPhases(half, nodes, o.rounds(1000), o.Seed+1),
+		Decomp:  o.decomp(core.DecompOptions{Seed: o.Seed}),
 	}
 }
 
@@ -235,6 +254,7 @@ func QuadraticWorkload(o Options, d, nodes int) *Workload {
 		workers: o.Workers,
 		F:       funcs.RandomQuadratic(d, o.Seed+2),
 		Data:    stream.QuadraticOutlier(d, nodes, o.rounds(1000), o.Seed+3),
+		Decomp:  o.decomp(core.DecompOptions{Seed: o.Seed}),
 	}
 }
 
@@ -250,7 +270,7 @@ func KLDWorkload(o Options, d, nodes, rounds int) *Workload {
 		F:          funcs.KLD(bins, tau),
 		Data:       stream.NewAirQuality(nodes, bins, o.rounds(rounds), o.Seed+4),
 		TuneRounds: o.rounds(200),
-		Decomp:     core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 25, OptMaxFunEvals: 150},
+		Decomp:     o.decomp(core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 25, OptMaxFunEvals: 150}),
 	}
 }
 
@@ -267,7 +287,7 @@ func MLPWorkload(o Options, d, nodes int) (*Workload, error) {
 		F:          f,
 		Data:       stream.MLPDrift(d, nodes, o.rounds(1000), o.Seed+6),
 		TuneRounds: o.rounds(200),
-		Decomp:     core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 25, OptMaxFunEvals: 150},
+		Decomp:     o.decomp(core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 25, OptMaxFunEvals: 150}),
 	}, nil
 }
 
@@ -311,7 +331,7 @@ func DNNWorkload(o Options) (*Workload, error) {
 		workers: o.Workers,
 		F:       funcs.Network("dnn-intrusion", net),
 		Data:    in.Dataset,
-		Decomp:  core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 8, OptMaxFunEvals: 40},
+		Decomp:  o.decomp(core.DecompOptions{Seed: o.Seed, OptStarts: 1, OptMaxIter: 8, OptMaxFunEvals: 40}),
 	}
 	if o.Quick {
 		w.FixedR = 0.08 // one-time offline tune; see EXPERIMENTS.md
@@ -329,6 +349,6 @@ func RosenbrockWorkload(o Options, nodes, rounds int) *Workload {
 		workers: o.Workers,
 		F:       funcs.Rosenbrock(),
 		Data:    stream.GaussianNoise(2, nodes, o.rounds(rounds), 0, 0.2, o.Seed+9),
-		Decomp:  core.DecompOptions{Seed: o.Seed},
+		Decomp:  o.decomp(core.DecompOptions{Seed: o.Seed}),
 	}
 }

@@ -332,7 +332,7 @@ func Fig9Ablation(o Options) (*Table, error) {
 	saddle := saddleAblationWorkload(o)
 	for _, v := range variants {
 		cfg := v.cfg(0.02)
-		cfg.Decomp = core.DecompOptions{Seed: o.Seed}
+		cfg.Decomp = o.decomp(core.DecompOptions{Seed: o.Seed})
 		res, err := sim.Run(sim.Config{
 			F: saddle.F, Data: saddle.Data, Algorithm: sim.AutoMon, Core: cfg, Trace: true,
 		})
@@ -358,7 +358,7 @@ func Fig9Ablation(o Options) (*Table, error) {
 	for _, v := range variants {
 		cfg := v.cfg(0.15)
 		cfg.R = 0.3 // fixed across variants so only the ablation differs
-		cfg.Decomp = core.DecompOptions{Seed: o.Seed}
+		cfg.Decomp = o.decomp(core.DecompOptions{Seed: o.Seed})
 		res, err := sim.Run(sim.Config{
 			F: mlp.F, Data: mlp.Data, Algorithm: sim.AutoMon, Core: cfg, Trace: true,
 		})

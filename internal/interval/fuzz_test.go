@@ -1,0 +1,210 @@
+package interval_test
+
+// FuzzIntervalHessian drives the interval Hessian engine with arbitrary
+// autodiff graphs and arbitrary boxes decoded from fuzz bytes. The properties
+// under fuzz are the engine's unconditional contracts:
+//
+//   - no panic, for any graph and any box — including degenerate point boxes,
+//     ±Inf endpoints, and overflow-prone op chains;
+//   - invalid boxes (NaN endpoints, lo > hi, wrong length) are rejected with
+//     an error, never a partial result;
+//   - every produced cell is ordered (Lo ≤ Hi) and never NaN, and the matrix
+//     is exactly symmetric;
+//   - on finite point boxes the cells contain the exact scalar Hessian
+//     entries (bitwise-equal off kinks; widened-but-containing on them).
+
+import (
+	"math"
+	"testing"
+
+	"automon/internal/autodiff"
+	"automon/internal/interval"
+	"automon/internal/linalg"
+)
+
+const fuzzMaxOps = 40
+
+// progReader streams fuzz bytes, padding with zeros once exhausted so every
+// input decodes to some graph.
+type progReader struct {
+	data []byte
+	pos  int
+}
+
+func (p *progReader) next() byte {
+	if p.pos >= len(p.data) {
+		return 0
+	}
+	b := p.data[p.pos]
+	p.pos++
+	return b
+}
+
+// buildFuzzGraph decodes a byte stream into an autodiff graph: a dimension,
+// then a sequence of ops whose operands index a growing pool of refs seeded
+// with the variables and a few constants. The last result is the output.
+func buildFuzzGraph(p *progReader) *autodiff.Graph {
+	dim := 1 + int(p.next())%3
+	nops := 1 + int(p.next())%fuzzMaxOps
+	return autodiff.Compile(dim, func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref {
+		pool := append([]autodiff.Ref{}, x...)
+		pool = append(pool, b.Const(0), b.Const(1), b.Const(-0.5), b.Const(2.5))
+		for i := 0; i < nops; i++ {
+			op := p.next() % 18
+			a := pool[int(p.next())%len(pool)]
+			c := pool[int(p.next())%len(pool)]
+			var r autodiff.Ref
+			switch op {
+			case 0:
+				r = b.Add(a, c)
+			case 1:
+				r = b.Sub(a, c)
+			case 2:
+				r = b.Mul(a, c)
+			case 3:
+				r = b.Div(a, c)
+			case 4:
+				r = b.Neg(a)
+			case 5:
+				r = b.Tanh(a)
+			case 6:
+				r = b.Relu(a)
+			case 7:
+				r = b.Step(a)
+			case 8:
+				r = b.Sigmoid(a)
+			case 9:
+				r = b.Exp(a)
+			case 10:
+				r = b.Log(a)
+			case 11:
+				r = b.Sin(a)
+			case 12:
+				r = b.Cos(a)
+			case 13:
+				r = b.Sqrt(a)
+			case 14:
+				r = b.Square(a)
+			case 15:
+				r = b.Powi(a, int(p.next()%11)-4)
+			case 16:
+				r = b.Abs(a)
+			default:
+				r = b.Sign(a)
+			}
+			pool = append(pool, r)
+		}
+		return pool[len(pool)-1]
+	})
+}
+
+// endpointTable is the palette box endpoints are drawn from: ordinary values,
+// denormal-adjacent magnitudes, overflow bait, infinities and NaN.
+var endpointTable = []float64{
+	0, 1, -1, 0.5, -0.5, 2, -2, math.Pi,
+	1e-8, -1e-8, 1e8, -1e8, 0.25, -0.75,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+}
+
+// decodeBox produces a box for dim variables. Mode 0 forces a point box,
+// mode 1 an ordered fat box, mode 2 the raw (possibly inverted) pair.
+func decodeBox(p *progReader, dim int) (lo, hi []float64) {
+	lo = make([]float64, dim)
+	hi = make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		a := endpointTable[int(p.next())%len(endpointTable)]
+		b := endpointTable[int(p.next())%len(endpointTable)]
+		switch p.next() % 3 {
+		case 0:
+			lo[i], hi[i] = a, a
+		case 1:
+			lo[i], hi[i] = math.Min(a, b), math.Max(a, b)
+		default:
+			lo[i], hi[i] = a, b
+		}
+	}
+	return lo, hi
+}
+
+func FuzzIntervalHessian(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 3, 2, 0, 1, 3, 0, 4, 0, 0, 0})
+	f.Add([]byte{2, 7, 14, 0, 0, 3, 1, 2, 10, 4, 0, 15, 2, 1, 9, 16, 16, 0})
+	f.Add([]byte{0, 39, 2, 0, 0, 2, 4, 4, 2, 5, 5, 2, 6, 6, 15, 0, 0, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := &progReader{data: data}
+		g := buildFuzzGraph(p)
+		ev := interval.NewEvaluator(g)
+		d := g.Dim()
+		lo, hi := decodeBox(p, d)
+
+		invalid := false
+		for i := 0; i < d; i++ {
+			if math.IsNaN(lo[i]) || math.IsNaN(hi[i]) || lo[i] > hi[i] {
+				invalid = true
+			}
+		}
+
+		m := interval.NewMat(d)
+		err := ev.Hessian(lo, hi, m)
+		if invalid {
+			if err == nil {
+				t.Fatalf("invalid box lo=%v hi=%v accepted", lo, hi)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid box lo=%v hi=%v rejected: %v", lo, hi, err)
+		}
+
+		point := true
+		for i := 0; i < d; i++ {
+			if lo[i] != hi[i] || math.IsInf(lo[i], 0) {
+				point = false
+			}
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				c := m.At(i, j)
+				if math.IsNaN(c.Lo) || math.IsNaN(c.Hi) {
+					t.Fatalf("cell (%d,%d) = %v carries NaN (box lo=%v hi=%v)", i, j, c, lo, hi)
+				}
+				if c.Lo > c.Hi {
+					t.Fatalf("cell (%d,%d) = %v inverted (box lo=%v hi=%v)", i, j, c, lo, hi)
+				}
+				if c != m.At(j, i) {
+					t.Fatalf("cells (%d,%d)=%v and (%d,%d)=%v asymmetric", i, j, c, j, i, m.At(j, i))
+				}
+			}
+		}
+		if point {
+			h := linalg.NewMat(d, d)
+			g.Hessian(lo, h)
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					sc := h.At(i, j)
+					if math.IsNaN(sc) {
+						continue // outside the graph's real domain at this point
+					}
+					if !m.At(i, j).Contains(sc) {
+						t.Fatalf("point box x=%v: cell (%d,%d) = %v misses scalar %v", lo, i, j, m.At(i, j), sc)
+					}
+				}
+			}
+		}
+
+		// A second Hessian over the same box must be deterministic: the pool
+		// reuse inside the evaluator may not leak state across calls.
+		m2 := interval.NewMat(d)
+		if err := ev.Hessian(lo, hi, m2); err != nil {
+			t.Fatalf("repeat evaluation rejected: %v", err)
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				if m.At(i, j) != m2.At(i, j) {
+					t.Fatalf("cell (%d,%d) nondeterministic: %v then %v", i, j, m.At(i, j), m2.At(i, j))
+				}
+			}
+		}
+	})
+}
