@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 4, 5, 6, 7a, 7b, 8, 9, 10, runtime, frontier, or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 4, 5, 6, 7a, 7b, 8, 9, 10, runtime, frontier, adaptive, or "all"`)
 	full := flag.Bool("full", false, "use full-size parameters (slow) instead of the quick defaults")
 	seed := flag.Int64("seed", 1, "master seed for data generation and optimizers")
 	latency := flag.Duration("latency", 0, "injected one-way latency for the figure-10 WAN runs (e.g. 28ms)")
@@ -61,6 +61,7 @@ func main() {
 		{"10", func() (*experiments.Table, error) { return experiments.Fig10Bandwidth(o, *latency) }},
 		{"runtime", func() (*experiments.Table, error) { return experiments.RuntimeTable(o) }},
 		{"frontier", func() (*experiments.Table, error) { return experiments.BackendFrontier(o) }},
+		{"adaptive", func() (*experiments.Table, error) { return experiments.AdaptiveTable(o) }},
 	}
 
 	ran := false

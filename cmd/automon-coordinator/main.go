@@ -41,7 +41,17 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics, /debug/vars, /debug/events, and /debug/pprof (empty = disabled)")
 	eigBackend := flag.String("eig-backend", "", `eigen-engine for ADCD-X zone builds: "lbfgs" (default), "interval" (certified), or "hybrid"`)
 	hybridSlack := flag.Float64("hybrid-slack", 0, "hybrid escalation threshold (0 = default, negative = never refine)")
+	adaptiveR := flag.Bool("adaptive-r", false, "enable the drift-aware radius controller (re-tunes r online, shrinking as well as growing)")
+	rMax := flag.Float64("r-max", 0, "cap on §3.6 radius doubling (0 = derive from the domain or configured r, negative = uncapped)")
+	adaptiveWindow := flag.Int("adaptive-window", 0, "full-sync snapshots retained as the re-tuning window (0 = default)")
+	adaptiveAlpha := flag.Float64("adaptive-alpha", 0, "EWMA decay per handled violation for the controller's triggers (0 = default)")
+	adaptiveCooldown := flag.Int("adaptive-cooldown", 0, "violations between re-tune attempts (0 = default)")
 	flag.Parse()
+
+	radius := radiusOptions{
+		adaptive: *adaptiveR, rMax: *rMax,
+		window: *adaptiveWindow, alpha: *adaptiveAlpha, cooldown: *adaptiveCooldown,
+	}
 
 	backend, err := core.ParseEigBackend(*eigBackend)
 	if err != nil {
@@ -64,7 +74,7 @@ func main() {
 	}
 
 	if *groups != "" {
-		runMulti(strings.Split(*groups, ","), *addr, *nodes, *eps, *r, o, opts, *report)
+		runMulti(strings.Split(*groups, ","), *addr, *nodes, *eps, *r, radius, o, opts, *report)
 		return
 	}
 
@@ -72,7 +82,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := workloadConfig(w, *eps, *r)
+	cfg := workloadConfig(w, *eps, *r, radius)
 
 	coord, err := transport.ListenCoordinator(*addr, w.F, *nodes, cfg, opts)
 	if err != nil {
@@ -119,7 +129,7 @@ func main() {
 // runMulti hosts one monitoring group per named workload on a single
 // listener and reports every group's estimate each tick.
 func runMulti(names []string, addr string, nodes int, eps, r float64,
-	o experiments.Options, opts transport.Options, report time.Duration) {
+	radius radiusOptions, o experiments.Options, opts transport.Options, report time.Duration) {
 	mc, err := transport.ListenMulti(addr, opts)
 	if err != nil {
 		fail(err)
@@ -138,7 +148,7 @@ func runMulti(names []string, addr string, nodes int, eps, r float64,
 		if err != nil {
 			fail(err)
 		}
-		c, err := mc.AddGroup(transport.GroupID(gid), w.F, nodes, workloadConfig(w, eps, r))
+		c, err := mc.AddGroup(transport.GroupID(gid), w.F, nodes, workloadConfig(w, eps, r, radius))
 		if err != nil {
 			fail(err)
 		}
@@ -175,10 +185,25 @@ func runMulti(names []string, addr string, nodes int, eps, r float64,
 	}
 }
 
+// radiusOptions bundles the -adaptive-r family of flags so both the
+// single-group and multi-group paths thread them identically.
+type radiusOptions struct {
+	adaptive bool
+	rMax     float64
+	window   int
+	alpha    float64
+	cooldown int
+}
+
 // workloadConfig builds the core config for one workload, honoring its
 // pinned neighborhood size when it has one.
-func workloadConfig(w *experiments.Workload, eps, r float64) core.Config {
-	cfg := core.Config{Epsilon: eps, R: r, Decomp: w.Decomp}
+func workloadConfig(w *experiments.Workload, eps, r float64, radius radiusOptions) core.Config {
+	cfg := core.Config{
+		Epsilon: eps, R: r, Decomp: w.Decomp,
+		AdaptiveR: radius.adaptive, RMax: radius.rMax,
+		AdaptiveWindow: radius.window, AdaptiveAlpha: radius.alpha,
+		AdaptiveCooldown: radius.cooldown,
+	}
 	if w.FixedR > 0 {
 		cfg.R = w.FixedR
 	}

@@ -20,13 +20,18 @@ import (
 )
 
 func main() {
-	fn := flag.String("func", "inner-product", "workload: inner-product[-d], quadratic[-d], kld[-d], mlp-d, dnn, rosenbrock")
+	fn := flag.String("func", "inner-product", "workload: inner-product[-d], quadratic[-d], kld[-d], mlp-d, dnn, rosenbrock, intrusion-entropy, regime-rosenbrock")
 	algo := flag.String("algo", "automon", "algorithm: automon, centralization, periodic, hybrid, no-adcd")
 	eps := flag.Float64("eps", 0.1, "approximation error bound ε")
 	period := flag.Int("period", 10, "period for the periodic baseline")
 	r := flag.Float64("r", 0, "fixed ADCD-X neighborhood size (0 = tune)")
 	full := flag.Bool("full", false, "full-size parameters")
 	seed := flag.Int64("seed", 1, "master seed")
+	adaptiveR := flag.Bool("adaptive-r", false, "enable the drift-aware radius controller (re-tunes r online, shrinking as well as growing)")
+	rMax := flag.Float64("r-max", 0, "cap on §3.6 radius doubling (0 = derive from the domain or tuned r, negative = uncapped)")
+	adaptiveWindow := flag.Int("adaptive-window", 0, "full-sync snapshots retained as the re-tuning window (0 = default)")
+	adaptiveAlpha := flag.Float64("adaptive-alpha", 0, "EWMA decay per handled violation for the controller's triggers (0 = default)")
+	adaptiveCooldown := flag.Int("adaptive-cooldown", 0, "violations between re-tune attempts (0 = default)")
 	flag.Parse()
 
 	o := experiments.Options{Quick: !*full, Seed: *seed}
@@ -36,9 +41,14 @@ func main() {
 	}
 
 	cfg := sim.Config{
-		F:          w.F,
-		Data:       w.Data,
-		Core:       core.Config{Epsilon: *eps, R: w.FixedR, Decomp: w.Decomp},
+		F:    w.F,
+		Data: w.Data,
+		Core: core.Config{
+			Epsilon: *eps, R: w.FixedR, Decomp: w.Decomp,
+			AdaptiveR: *adaptiveR, RMax: *rMax,
+			AdaptiveWindow: *adaptiveWindow, AdaptiveAlpha: *adaptiveAlpha,
+			AdaptiveCooldown: *adaptiveCooldown,
+		},
 		TuneRounds: w.TuneRounds,
 	}
 	if *r > 0 {
@@ -80,7 +90,12 @@ func main() {
 		fmt.Printf("violations:      %d neighborhood, %d safe-zone, %d faulty\n",
 			res.Stats.NeighborhoodViolations, res.Stats.SafeZoneViolations, res.Stats.FaultyViolations)
 		if res.TunedR > 0 {
-			fmt.Printf("neighborhood r:  %.6g\n", res.TunedR)
+			fmt.Printf("neighborhood r:  %.6g (final %.6g)\n", res.TunedR, res.FinalR)
+		}
+		if res.Stats.RDoublings+res.Stats.RSaturations > 0 || *adaptiveR {
+			fmt.Printf("radius events:   %d doublings, %d saturations, %d shrinks, %d grows, %d retunes\n",
+				res.Stats.RDoublings, res.Stats.RSaturations,
+				res.Stats.RShrinks, res.Stats.RGrows, res.Stats.AdaptiveRetunes)
 		}
 	}
 }

@@ -59,6 +59,32 @@ type Config struct {
 	// (with no intervening safe-zone violations) after which r is doubled.
 	// 0 means the paper default of 5n.
 	RDoubleAfter int
+	// RMax caps the neighborhood radius: §3.6 doublings (and adaptive
+	// re-tunes) clamp to it, so a sustained violation storm can no longer
+	// grow r without bound — unbounded doubling eventually overflows the
+	// zone-cache quantizer and, under the interval eigen-engine, widens
+	// Hessian enclosures toward Entire. 0 derives a default (the domain
+	// diameter when finite, else 1024× the starting radius); negative
+	// disables the cap. Clamped doublings are counted in
+	// automon_coordinator_r_saturations_total.
+	RMax float64
+	// AdaptiveR enables the drift-aware radius controller: EWMAs of the
+	// violation mix, full-sync rate and eigen-engine build cost trigger
+	// background Algorithm-2 re-brackets over a window of recent full-sync
+	// snapshots, and the re-tuned radius — which can *shrink* as well as
+	// grow — is swapped in at the next full sync. Only meaningful for
+	// ADCD-X; on a drift-free stream the controller never triggers and the
+	// run is bit-identical to a static one. See radius.go.
+	AdaptiveR bool
+	// AdaptiveWindow is the number of full-sync snapshots retained as the
+	// controller's re-tuning window. 0 means DefaultAdaptiveWindow.
+	AdaptiveWindow int
+	// AdaptiveAlpha is the controller's per-violation EWMA decay in (0, 1].
+	// 0 means DefaultAdaptiveAlpha.
+	AdaptiveAlpha float64
+	// AdaptiveCooldown is the minimum number of handled violations between
+	// re-tune attempts (event time, not wall time). 0 means 2·RDoubleAfter.
+	AdaptiveCooldown int
 	// Decomp configures the ADCD-X eigenvalue search, including its worker
 	// count (Decomp.Workers) and eigensolve memoization.
 	Decomp DecompOptions
@@ -143,11 +169,17 @@ type CoordStats struct {
 	SafeZoneViolations     int
 	FaultyViolations       int
 	RDoublings             int
+	RSaturations           int
+	RShrinks               int
+	RGrows                 int
+	AdaptiveRetunes        int
 	NodeDeaths             int
 	Rejoins                int
 	Eigensolves            int
 	ZoneCacheHits          int
 	ZoneCacheMisses        int
+	ZoneCacheBypasses      int
+	ZoneCacheInvalidations int
 
 	// Eigen-engine provenance: fresh ADCD-X decompositions by backend, the
 	// hybrid escalations that ran the L-BFGS search, and the eigensolves
@@ -170,20 +202,31 @@ type coordObs struct {
 	szViol       *obs.Counter
 	faultyViol   *obs.Counter
 	rDoublings   *obs.Counter
-	nodeDeaths   *obs.Counter
-	rejoins      *obs.Counter
-	eigsolves    *obs.Counter
-	zcHits       *obs.Counter
-	zcMisses     *obs.Counter
-	ebLBFGS      *obs.Counter
-	ebInterval   *obs.Counter
-	ebHybrid     *obs.Counter
-	ebRefines    *obs.Counter
-	ebOptEvals   *obs.Counter
+	rSaturations *obs.Counter
+	rShrinks     *obs.Counter
+	rGrows       *obs.Counter
+
+	adaptiveRetunes *obs.Counter
+	nodeDeaths      *obs.Counter
+	rejoins         *obs.Counter
+	eigsolves       *obs.Counter
+	zcHits          *obs.Counter
+	zcMisses        *obs.Counter
+	zcBypasses      *obs.Counter
+	zcInvalidated   *obs.Counter
+	ebLBFGS         *obs.Counter
+	ebInterval      *obs.Counter
+	ebHybrid        *obs.Counter
+	ebRefines       *obs.Counter
+	ebOptEvals      *obs.Counter
 
 	liveNodes *obs.Gauge
 	radius    *obs.Gauge
 	estimate  *obs.Gauge
+	ewmaNeigh *obs.Gauge
+	ewmaSZ    *obs.Gauge
+	ewmaSync  *obs.Gauge
+	ewmaCost  *obs.Gauge
 	lazySet   *obs.Histogram
 
 	tracer *obs.Tracer
@@ -226,11 +269,18 @@ func newCoordObs(reg *obs.Registry, tracer *obs.Tracer, labels string) coordObs 
 		szViol:       reg.Counter(name(`automon_coordinator_violations_total{kind="safe_zone"}`), violHelp),
 		faultyViol:   reg.Counter(name(`automon_coordinator_violations_total{kind="faulty"}`), violHelp),
 		rDoublings:   reg.Counter(name("automon_coordinator_r_doublings_total"), "§3.6 neighborhood-size doublings"),
+		rSaturations: reg.Counter(name("automon_coordinator_r_saturations_total"), "§3.6 doublings clamped by the RMax radius cap"),
+		rShrinks:     reg.Counter(name(`automon_coordinator_adaptive_r_swaps_total{dir="shrink"}`), "adaptive radius swaps applied at a full sync, by direction"),
+		rGrows:       reg.Counter(name(`automon_coordinator_adaptive_r_swaps_total{dir="grow"}`), "adaptive radius swaps applied at a full sync, by direction"),
+
+		adaptiveRetunes: reg.Counter(name("automon_coordinator_adaptive_retunes_total"), "background Algorithm-2 re-brackets that staged a new radius"),
 		nodeDeaths:   reg.Counter(name("automon_coordinator_node_deaths_total"), "nodes marked dead by the fabric"),
 		rejoins:      reg.Counter(name("automon_coordinator_rejoins_total"), "nodes re-admitted after a death"),
 		eigsolves:    reg.Counter(name("automon_coordinator_eigensolves_total"), "eigensolver evaluations performed by the ADCD-X search"),
 		zcHits:       reg.Counter(name("automon_coordinator_zone_cache_hits_total"), "full syncs that reused a cached ADCD-X decomposition"),
-		zcMisses:     reg.Counter(name("automon_coordinator_zone_cache_misses_total"), "full syncs that ran the eigenvalue search with the zone cache enabled"),
+		zcMisses:      reg.Counter(name("automon_coordinator_zone_cache_misses_total"), "full syncs that ran the eigenvalue search with the zone cache enabled"),
+		zcBypasses:    reg.Counter(name("automon_coordinator_zone_cache_bypasses_total"), "full syncs that skipped the zone cache because (x0, r) could not be quantized soundly"),
+		zcInvalidated: reg.Counter(name("automon_coordinator_zone_cache_invalidations_total"), "cached decompositions dropped because the neighborhood radius changed"),
 		ebLBFGS:      reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="lbfgs"}`), eigboundHelp),
 		ebInterval:   reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="interval"}`), eigboundHelp),
 		ebHybrid:     reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="hybrid"}`), eigboundHelp),
@@ -239,6 +289,10 @@ func newCoordObs(reg *obs.Registry, tracer *obs.Tracer, labels string) coordObs 
 		liveNodes:    reg.Gauge(name("automon_coordinator_live_nodes"), "nodes currently considered reachable"),
 		radius:       reg.Gauge(name("automon_coordinator_neighborhood_radius"), "current ADCD-X neighborhood size r"),
 		estimate:     reg.Gauge(name("automon_coordinator_estimate"), "current approximation of f over the live-node average"),
+		ewmaNeigh:    reg.Gauge(name(`automon_coordinator_violation_mix_ewma{kind="neighborhood"}`), "EWMA share of recent violations, by kind (adaptive radius controller)"),
+		ewmaSZ:       reg.Gauge(name(`automon_coordinator_violation_mix_ewma{kind="safe_zone"}`), "EWMA share of recent violations, by kind (adaptive radius controller)"),
+		ewmaSync:     reg.Gauge(name("automon_coordinator_full_sync_rate_ewma"), "EWMA share of recent violations resolved by a full sync (adaptive radius controller)"),
+		ewmaCost:     reg.Gauge(name("automon_coordinator_eigbound_cost_ewma"), "EWMA eigensolver evaluations per fresh ADCD-X zone build (adaptive radius controller)"),
 		lazySet:      reg.Histogram(name("automon_coordinator_balancing_set_size"), "nodes pulled into each resolved lazy sync", []float64{1, 2, 4, 8, 16, 32, 64}),
 		tracer:       tracer,
 	}
@@ -276,6 +330,15 @@ type Coordinator struct {
 	zoneScope   string
 	zoneQuantum float64
 
+	// rMax is the resolved doubling cap (see Config.RMax / resolveRMax).
+	// radius is the drift-aware controller, nil unless Config.AdaptiveR is
+	// set on an ADCD-X run. rSwapped flags that the most recent full sync
+	// applied a staged radius, so HandleViolation's neighborhood branch must
+	// not restore a §3.6 streak counted against the old radius.
+	rMax     float64
+	radius   *radiusController
+	rSwapped bool
+
 	// Liveness: dead nodes are excluded from syncs, from the reference-point
 	// average, and from lazy-sync balancing sets until they rejoin. While any
 	// node is dead the estimate is Degraded: it ε-approximates f over the
@@ -297,11 +360,17 @@ func (c *Coordinator) Stats() CoordStats {
 		SafeZoneViolations:     int(c.obs.szViol.Load()),
 		FaultyViolations:       int(c.obs.faultyViol.Load()),
 		RDoublings:             int(c.obs.rDoublings.Load()),
+		RSaturations:           int(c.obs.rSaturations.Load()),
+		RShrinks:               int(c.obs.rShrinks.Load()),
+		RGrows:                 int(c.obs.rGrows.Load()),
+		AdaptiveRetunes:        int(c.obs.adaptiveRetunes.Load()),
 		NodeDeaths:             int(c.obs.nodeDeaths.Load()),
 		Rejoins:                int(c.obs.rejoins.Load()),
 		Eigensolves:            int(c.obs.eigsolves.Load()),
 		ZoneCacheHits:          int(c.obs.zcHits.Load()),
 		ZoneCacheMisses:        int(c.obs.zcMisses.Load()),
+		ZoneCacheBypasses:      int(c.obs.zcBypasses.Load()),
+		ZoneCacheInvalidations: int(c.obs.zcInvalidated.Load()),
 		EigBoundBuildsLBFGS:    int(c.obs.ebLBFGS.Load()),
 		EigBoundBuildsInterval: int(c.obs.ebInterval.Load()),
 		EigBoundBuildsHybrid:   int(c.obs.ebHybrid.Load()),
@@ -383,6 +452,8 @@ func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator 
 	default:
 		c.method = MethodX
 	}
+	c.rMax = resolveRMax(cfg, f)
+	c.radius = newRadiusController(c)
 	return c
 }
 
@@ -390,8 +461,20 @@ func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator 
 func (c *Coordinator) Method() Method { return c.method }
 
 // R returns the current neighborhood radius (it can grow via the doubling
-// heuristic).
+// heuristic, and move either way under the adaptive controller).
 func (c *Coordinator) R() float64 { return c.r }
+
+// RMax returns the resolved cap on the neighborhood radius (see Config.RMax).
+func (c *Coordinator) RMax() float64 { return c.rMax }
+
+// PendingR returns the radius staged by the adaptive controller for the next
+// full sync, or 0 when none is staged (or the controller is disabled).
+func (c *Coordinator) PendingR() float64 {
+	if c.radius == nil {
+		return 0
+	}
+	return c.radius.pendingR
+}
 
 // Estimate returns the coordinator's current approximation f(x0).
 func (c *Coordinator) Estimate() float64 {
@@ -523,33 +606,75 @@ func (c *Coordinator) HandleViolation(v *Violation) error {
 		// the running streak after the sync this violation forces.
 		streak := c.consecNeigh + 1
 		if streak >= c.Cfg.RDoubleAfter {
-			// §3.6 fallback: tuning data became unrepresentative; widen B.
-			c.r *= 2
+			// §3.6 fallback: tuning data became unrepresentative; widen B —
+			// but never past rMax: unbounded doubling under a sustained storm
+			// would overflow the zone-cache quantizer and (with the interval
+			// backend) widen Hessian enclosures toward Entire.
 			streak = 0
-			c.obs.rDoublings.Inc()
-			c.obs.radius.Set(c.r)
-			c.obs.tracer.Record(obs.EventRDouble, v.NodeID, c.r, "")
+			newR := c.r * 2
+			if newR > c.rMax {
+				newR = c.rMax
+				c.obs.rSaturations.Inc()
+				c.obs.tracer.Record(obs.EventRSaturated, v.NodeID, c.rMax, "")
+			}
+			if newR > c.r {
+				c.r = newR
+				c.obs.rDoublings.Inc()
+				c.obs.radius.Set(c.r)
+				c.obs.tracer.Record(obs.EventRDouble, v.NodeID, c.r, "")
+				c.invalidateZoneScope()
+			}
 		}
 		err := c.fullSync(fresh)
+		if c.rSwapped {
+			// The sync installed a re-tuned radius; violations counted
+			// against the old one say nothing about the new neighborhood.
+			streak = 0
+		}
 		c.consecNeigh = streak
+		if c.radius != nil {
+			c.radius.observeViolation(true, false, true)
+			c.radius.maybeRetune()
+		}
 		return err
 	case ViolationFaulty:
 		c.obs.faultyViol.Inc()
 		c.obs.tracer.Record(obs.EventViolation, v.NodeID, 0, "faulty")
-		return c.fullSync(fresh)
+		err := c.fullSync(fresh)
+		if c.radius != nil {
+			c.radius.observeViolation(false, false, true)
+			c.radius.maybeRetune()
+		}
+		return err
 	case ViolationSafeZone:
 		c.obs.szViol.Inc()
 		c.obs.tracer.Record(obs.EventViolation, v.NodeID, 0, "safe_zone")
 		c.consecNeigh = 0
-		if c.Cfg.DisableLazySync {
-			return c.fullSync(fresh)
+		resolved := !c.Cfg.DisableLazySync && c.lazySync(v, fresh)
+		var err error
+		if !resolved {
+			err = c.fullSync(fresh)
 		}
-		if c.lazySync(v, fresh) {
-			return nil
+		if c.radius != nil {
+			c.radius.observeViolation(false, true, !resolved)
+			c.radius.maybeRetune()
 		}
-		return c.fullSync(fresh)
+		return err
 	}
 	return fmt.Errorf("core: unknown violation kind %v", v.Kind)
+}
+
+// invalidateZoneScope drops this coordinator's entries from the zone cache.
+// Called whenever the neighborhood radius changes: old-radius keys can never
+// match again, and in a shared cache they would squeeze out other tenants'
+// live entries until LRU pressure finally evicts them.
+func (c *Coordinator) invalidateZoneScope() {
+	if c.zoneCache == nil {
+		return
+	}
+	if n := c.zoneCache.InvalidateScope(c.zoneScope); n > 0 {
+		c.obs.zcInvalidated.Add(int64(n))
+	}
 }
 
 // lazySync implements the balancing protocol: starting from the violator, it
@@ -676,6 +801,10 @@ func (c *Coordinator) Thresholds(f0 float64) (l, u float64) {
 func (c *Coordinator) fullSync(fresh map[int]bool) error {
 	c.obs.fullSyncs.Inc()
 	c.consecNeigh = 0
+	c.rSwapped = false
+	if c.radius != nil && c.radius.applyPending() {
+		c.rSwapped = true
+	}
 	d := c.F.Dim()
 	for i := 0; i < c.N; i++ {
 		if fresh[i] || !c.live[i] {
@@ -728,9 +857,15 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 		bLo, bHi := NeighborhoodBox(c.F, c.x0, c.r)
 		var dec *XDecomposition
 		var key string
+		var keyOK bool
 		if c.zoneCache != nil {
-			key = quantizeKey(c.zoneScope, c.Cfg.Decomp.Backend, c.x0, c.r, c.zoneQuantum)
-			if cached, ok := c.zoneCache.get(key); ok {
+			// A key that cannot be quantized soundly (non-finite or huge
+			// coordinates) would alias unrelated entries; bypass the cache for
+			// this sync instead.
+			key, keyOK = quantizeKey(c.zoneScope, c.Cfg.Decomp.Backend, c.x0, c.r, c.zoneQuantum)
+			if !keyOK {
+				c.obs.zcBypasses.Inc()
+			} else if cached, ok := c.zoneCache.get(key); ok {
 				c.obs.zcHits.Inc()
 				dec = cached
 			} else {
@@ -738,6 +873,7 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 			}
 		}
 		if dec == nil {
+			solvesBefore := c.Cfg.Decomp.EigsolveCounter.Load()
 			dec, err = DecomposeX(c.F, c.x0, bLo, bHi, c.Cfg.Decomp)
 			if err != nil {
 				return err
@@ -746,7 +882,10 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 			if dec.Refined {
 				c.obs.ebRefines.Inc()
 			}
-			if c.zoneCache != nil {
+			if c.radius != nil {
+				c.radius.observeBuild(float64(c.Cfg.Decomp.EigsolveCounter.Load() - solvesBefore))
+			}
+			if c.zoneCache != nil && keyOK {
 				c.zoneCache.put(key, dec)
 			}
 		}
@@ -798,6 +937,9 @@ func (c *Coordinator) fullSync(fresh map[int]bool) error {
 			m.Zone = zone
 		}
 		c.comm.SendSync(i, m)
+	}
+	if c.radius != nil {
+		c.radius.recordSnapshot()
 	}
 	return nil
 }

@@ -221,20 +221,25 @@ func TestQuantizeKeyBackendSeparation(t *testing.T) {
 	backends := []EigBackend{BackendLBFGS, BackendInterval, BackendHybrid}
 	seen := make(map[string]EigBackend, len(backends))
 	for _, b := range backends {
-		k := quantizeKey("g", b, x0, 0.5, DefaultZoneCacheQuantum)
+		k, ok := quantizeKey("g", b, x0, 0.5, DefaultZoneCacheQuantum)
+		if !ok {
+			t.Fatalf("backend %v: finite inputs failed to quantize", b)
+		}
 		if prev, dup := seen[k]; dup {
 			t.Fatalf("backends %v and %v share cache key %q", prev, b, k)
 		}
 		seen[k] = b
 	}
 	// Same backend, same inputs: still a stable key.
-	a := quantizeKey("g", BackendInterval, x0, 0.5, DefaultZoneCacheQuantum)
-	b := quantizeKey("g", BackendInterval, x0, 0.5, DefaultZoneCacheQuantum)
+	a, _ := quantizeKey("g", BackendInterval, x0, 0.5, DefaultZoneCacheQuantum)
+	b, _ := quantizeKey("g", BackendInterval, x0, 0.5, DefaultZoneCacheQuantum)
 	if a != b {
 		t.Errorf("key not deterministic: %q vs %q", a, b)
 	}
 	// Scope separation survives the backend discriminator.
-	if quantizeKey("g1", BackendInterval, x0, 0.5, 1e-2) == quantizeKey("g2", BackendInterval, x0, 0.5, 1e-2) {
+	k1, _ := quantizeKey("g1", BackendInterval, x0, 0.5, 1e-2)
+	k2, _ := quantizeKey("g2", BackendInterval, x0, 0.5, 1e-2)
+	if k1 == k2 {
 		t.Error("scopes collide")
 	}
 }

@@ -134,6 +134,11 @@ func Tune(f *Function, data TuningData, n int, cfg Config) (TuneResult, error) {
 		// caller's scrape would absorb the probes' events.
 		c.Metrics = nil
 		c.Tracer = nil
+		// A probe run evaluating a candidate r must hold that r fixed: with
+		// the adaptive controller live inside a replay, probes would retune —
+		// and therefore Tune — recursively, and the violation counts would no
+		// longer describe the candidate radius.
+		c.AdaptiveR = false
 		return Replay(f, data, n, c)
 	}
 	if cfg.TuneWorkers > 1 {

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -46,23 +47,89 @@ func (zc *ZoneCache) Len() int {
 	return len(zc.keys)
 }
 
+// maxQuantCell bounds the grid coordinates quantizeKey will render: beyond
+// 2⁵³ a float64 no longer represents every integer, so two distinct radii
+// (or reference coordinates) could silently round to the same cell — and a
+// float-to-int64 conversion past the int64 range is undefined. Values this
+// large only arise from pathology (unbounded §3.6 doubling, NaN/Inf inputs);
+// the cache is bypassed rather than risking key aliasing.
+const maxQuantCell = float64(1 << 53)
+
+// scopePrefix renders a coordinator's scope as an unambiguous key prefix.
+// The length prefix guarantees that distinct scopes can never produce keys
+// where one coordinator's prefix is a prefix of another's full key (":" is
+// never a digit), which InvalidateScope relies on.
+func scopePrefix(scope string) string {
+	return strconv.Itoa(len(scope)) + ":" + scope + "e"
+}
+
+// quantizeCell maps one value onto the grid of pitch q, reporting whether
+// the cell index survives the float→int64 round trip. NaN, ±Inf and
+// magnitudes beyond maxQuantCell are unrepresentable: they would alias
+// unrelated keys, so the caller must bypass the cache instead.
+func quantizeCell(v, q float64) (int64, bool) {
+	g := math.Round(v / q)
+	if math.IsNaN(g) || g < -maxQuantCell || g > maxQuantCell {
+		return 0, false
+	}
+	return int64(g), true
+}
+
 // quantizeKey maps (x0, r) onto a grid of pitch q and renders the grid
 // coordinates as the cache key, prefixed by the owning coordinator's scope
 // so groups sharing one cache never collide, and by the eigen-engine backend
 // so A/B runs over the same schedule never reuse each other's bounds (an
-// L-BFGS estimate is not a certificate, and vice versa).
-func quantizeKey(scope string, backend EigBackend, x0 []float64, r, q float64) string {
-	b := make([]byte, 0, len(scope)+16*(len(x0)+1)+4)
-	b = append(b, scope...)
-	b = append(b, 'e')
+// L-BFGS estimate is not a certificate, and vice versa). The second return
+// is false when any coordinate is too large (or not finite) to quantize
+// soundly; such syncs must skip the cache entirely.
+func quantizeKey(scope string, backend EigBackend, x0 []float64, r, q float64) (string, bool) {
+	b := make([]byte, 0, len(scope)+16*(len(x0)+1)+8)
+	b = append(b, scopePrefix(scope)...)
 	b = strconv.AppendUint(b, uint64(backend), 10)
 	b = append(b, '|')
-	b = strconv.AppendInt(b, int64(math.Round(r/q)), 10)
+	cell, ok := quantizeCell(r, q)
+	if !ok {
+		return "", false
+	}
+	b = strconv.AppendInt(b, cell, 10)
 	for _, v := range x0 {
 		b = append(b, ',')
-		b = strconv.AppendInt(b, int64(math.Round(v/q)), 10)
+		cell, ok = quantizeCell(v, q)
+		if !ok {
+			return "", false
+		}
+		b = strconv.AppendInt(b, cell, 10)
 	}
-	return string(b)
+	return string(b), true
+}
+
+// InvalidateScope drops every cached decomposition written under the given
+// scope and returns how many entries were removed. Coordinators call it when
+// their neighborhood radius changes (§3.6 doubling or an adaptive shrink):
+// old-radius decompositions can never be looked up again — their keys embed
+// the quantized old r — so leaving them in a shared cache would squeeze out
+// other tenants' live entries until LRU pressure finally evicts them.
+func (zc *ZoneCache) InvalidateScope(scope string) int {
+	prefix := scopePrefix(scope)
+	zc.mu.Lock()
+	defer zc.mu.Unlock()
+	kept := zc.keys[:0]
+	removed := 0
+	for _, k := range zc.keys {
+		if strings.HasPrefix(k, prefix) {
+			delete(zc.vals, k)
+			removed++
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	// Zero the tail so evicted keys don't pin their strings via the backing
+	// array.
+	for i := len(kept); i < len(zc.keys); i++ {
+		zc.keys[i] = ""
+	}
+	zc.keys = kept
+	return removed
 }
 
 func (zc *ZoneCache) get(key string) (*XDecomposition, bool) {

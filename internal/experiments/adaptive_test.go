@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"automon/internal/core"
+)
+
+// TestAdaptiveBeatsStaticOnBurstyStreams is the PR's acceptance criterion:
+// on the bursty streams, a run with the drift-aware radius controller pays
+// strictly fewer full syncs (and fewer messages) than the static-r̂ run at
+// equal ε, because the static run carries its §3.6-doubled radius out of the
+// burst forever. Everything underneath is deterministic for a fixed seed —
+// the generators are seeded, the simulation is single-threaded per run, and
+// the worker-parallel tuning search is bit-identical at any worker count —
+// so the assertions are exact, not statistical.
+func TestAdaptiveBeatsStaticOnBurstyStreams(t *testing.T) {
+	o := Options{Seed: 1, EigBackend: core.BackendInterval}
+	pairs, err := AdaptivePairs(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(pairs))
+	}
+	for _, p := range pairs {
+		st, ad := p.Static, p.Adaptive
+		t.Logf("%s eps=%v: static fullSyncs=%d msgs=%d finalR=%.4f | adaptive fullSyncs=%d msgs=%d finalR=%.4f shrinks=%d retunes=%d",
+			p.Workload, p.Eps, st.Stats.FullSyncs, st.Messages, st.FinalR,
+			ad.Stats.FullSyncs, ad.Messages, ad.FinalR,
+			ad.Stats.RShrinks, ad.Stats.AdaptiveRetunes)
+
+		// Both arms tune on the same prefix with the controller held off, so
+		// they must enter monitoring with the identical radius.
+		if st.TunedR != ad.TunedR {
+			t.Errorf("%s: tuned radii diverge: static %v, adaptive %v", p.Workload, st.TunedR, ad.TunedR)
+		}
+		// The headline claim.
+		if ad.Stats.FullSyncs >= st.Stats.FullSyncs {
+			t.Errorf("%s: adaptive full syncs %d not strictly below static %d",
+				p.Workload, ad.Stats.FullSyncs, st.Stats.FullSyncs)
+		}
+		if ad.Messages >= st.Messages {
+			t.Errorf("%s: adaptive messages %d not below static %d", p.Workload, ad.Messages, st.Messages)
+		}
+		// Cheaper must not mean wrong: both arms hold the ε guarantee.
+		if st.MaxErr > p.Eps {
+			t.Errorf("%s: static max error %v exceeds eps %v", p.Workload, st.MaxErr, p.Eps)
+		}
+		if ad.MaxErr > p.Eps {
+			t.Errorf("%s: adaptive max error %v exceeds eps %v", p.Workload, ad.MaxErr, p.Eps)
+		}
+		// The mechanism, not just the outcome: the burst engaged §3.6 doubling
+		// in both arms, only the adaptive arm ever shrank, and it ended the
+		// run on a smaller radius than the static ratchet left behind.
+		if st.Stats.RDoublings == 0 || ad.Stats.RDoublings == 0 {
+			t.Errorf("%s: burst never engaged §3.6 doubling (static %d, adaptive %d)",
+				p.Workload, st.Stats.RDoublings, ad.Stats.RDoublings)
+		}
+		if st.Stats.RShrinks != 0 || st.Stats.AdaptiveRetunes != 0 {
+			t.Errorf("%s: static arm shrank (%d) or retuned (%d)",
+				p.Workload, st.Stats.RShrinks, st.Stats.AdaptiveRetunes)
+		}
+		if ad.Stats.RShrinks == 0 || ad.Stats.AdaptiveRetunes == 0 {
+			t.Errorf("%s: adaptive arm never exercised the controller (shrinks %d, retunes %d)",
+				p.Workload, ad.Stats.RShrinks, ad.Stats.AdaptiveRetunes)
+		}
+		if ad.FinalR >= st.FinalR {
+			t.Errorf("%s: adaptive final radius %v not below static %v", p.Workload, ad.FinalR, st.FinalR)
+		}
+	}
+	if pairs[0].Workload != "intrusion-entropy" {
+		t.Errorf("first pair is %q, want the bursty intrusion stream", pairs[0].Workload)
+	}
+}
+
+// TestAdaptiveTableShape checks the rendered sweep table: two rows per
+// scenario (static, adaptive), cells aligned with the header.
+func TestAdaptiveTableShape(t *testing.T) {
+	o := Options{Quick: true, Seed: 1, EigBackend: core.BackendInterval}
+	tab, err := AdaptiveTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (static+adaptive × 2 workloads)", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tab.Header))
+		}
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"intrusion-entropy", "regime-rosenbrock", "static", "adaptive"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("CSV missing %q", want)
+		}
+	}
+}

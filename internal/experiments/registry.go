@@ -7,7 +7,8 @@ import (
 )
 
 // NamedWorkload resolves a workload by name for the CLI tools. Recognized
-// names: inner-product[-d], quadratic[-d], kld[-d], mlp-d, dnn, rosenbrock.
+// names: inner-product[-d], quadratic[-d], kld[-d], mlp-d, dnn, rosenbrock,
+// intrusion-entropy, regime-rosenbrock.
 // The trailing -d sets the dimension (e.g. kld-40). Both the coordinator and
 // node processes of a distributed run construct the same workload from the
 // same name and seed, so trained models and streams agree bit-for-bit.
@@ -45,6 +46,10 @@ func NamedWorkload(name string, o Options) (*Workload, error) {
 		return DNNWorkload(o)
 	case "rosenbrock":
 		return RosenbrockWorkload(o, 10, 1000), nil
+	case "intrusion-entropy":
+		return IntrusionEntropyWorkload(o, 9, 2000), nil
+	case "regime-rosenbrock":
+		return RegimeShiftWorkload(o, 6, 1500), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown workload %q", name)
 }

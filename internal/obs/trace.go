@@ -18,6 +18,12 @@ const (
 	EventNodeDeath = "node_death"
 	EventRejoin    = "rejoin"
 
+	// Adaptive radius controller events (internal/core/radius.go).
+	EventRSaturated = "r_saturated" // Value: the RMax cap a doubling clamped to
+	EventRShrink    = "r_shrink"    // Value: new (smaller) radius swapped in at a sync
+	EventRGrow      = "r_grow"      // Value: new (larger) radius swapped in at a sync
+	EventRetune     = "retune"      // Value: staged radius; Label: staged | within-noise | bracket-failed
+
 	// Transport events (internal/transport).
 	EventFrameSent       = "frame_sent"        // Value: wire bytes; Label: message type
 	EventFrameReceived   = "frame_recv"        // Value: wire bytes; Label: message type

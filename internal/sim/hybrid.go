@@ -116,6 +116,7 @@ func runHybrid(cfg Config, res *Result, windows []stream.Windower) (*Result, err
 	}
 	res.Stats = coord.Stats()
 	res.TunedR = coord.R()
+	res.FinalR = coord.R()
 	res.finalize(cfg.Trace)
 	return res, nil
 }

@@ -97,6 +97,10 @@ type Result struct {
 
 	Stats  core.CoordStats
 	TunedR float64
+	// FinalR is the coordinator's neighborhood radius when the run ended; it
+	// differs from TunedR when §3.6 doubling or the adaptive controller moved
+	// r during the run (AutoMon/Hybrid only).
+	FinalR float64
 
 	// Traces are populated when Config.Trace is set.
 	TrueTrace, EstTrace, ErrTrace []float64
@@ -375,6 +379,7 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 		res.observe(cfg, coord.Estimate(), cfg.F.Value(avg), cfg.Trace)
 	}
 	res.Stats = coord.Stats()
+	res.FinalR = coord.R()
 	if res.TunedR == 0 {
 		res.TunedR = coord.R()
 	}

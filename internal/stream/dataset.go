@@ -204,6 +204,48 @@ func QuadraticOutlier(d, nodes, rounds int, seed int64) *Dataset {
 	return ds
 }
 
+// RegimeShift is the drift workload for the adaptive-radius experiments: a
+// stationary N(mu, sigma²) stream with one burst episode in the middle of the
+// run where the noise scale jumps to burstSigma (a regime change that drives
+// consecutive neighborhood violations and, in a static run, permanently
+// inflates r via the §3.6 doubling fallback). Before and after the burst the
+// stream is statistically identical, so any post-burst behavior difference is
+// attributable to state the monitoring run carried out of the burst.
+func RegimeShift(d, nodes, rounds int, mu, sigma, burstSigma float64, seed int64) *Dataset {
+	const w = 20
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{
+		Name:      "regime-shift",
+		Nodes:     nodes,
+		Rounds:    rounds,
+		NewWindow: func() Windower { return NewAvgWindow(w, d) },
+	}
+	// Burst window: the middle fifth of the run.
+	burstFrom, burstTo := 2*rounds/5, 3*rounds/5
+	gen := func(round int) [][]float64 {
+		s := sigma
+		if round >= burstFrom && round < burstTo {
+			s = burstSigma
+		}
+		out := make([][]float64, nodes)
+		for i := 0; i < nodes; i++ {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = mu + rng.NormFloat64()*s
+			}
+			out[i] = x
+		}
+		return out
+	}
+	for r := 0; r < w; r++ {
+		ds.fill = append(ds.fill, gen(0))
+	}
+	for r := 0; r < rounds; r++ {
+		ds.samples = append(ds.samples, gen(r))
+	}
+	return ds
+}
+
 // GaussianNoise is a plain stationary workload (every entry N(mu, sigma²)),
 // used by the tuning experiments (§3.6 samples Rosenbrock inputs from
 // N(0, 0.2²)).
