@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 4, 5, 6, 7a, 7b, 8, 9, 10, runtime, frontier, adaptive, or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 4, 5, 6, 7a, 7b, 8, 9, 10, runtime, frontier, adaptive, sketch, or "all"`)
 	full := flag.Bool("full", false, "use full-size parameters (slow) instead of the quick defaults")
 	seed := flag.Int64("seed", 1, "master seed for data generation and optimizers")
 	latency := flag.Duration("latency", 0, "injected one-way latency for the figure-10 WAN runs (e.g. 28ms)")
@@ -29,6 +29,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for sweep runs and tuning replays (0 = one per core, 1 = sequential); tables are identical at any setting")
 	eigBackend := flag.String("eig-backend", "", `eigen-engine for ADCD-X zone builds: "lbfgs" (default), "interval" (certified), or "hybrid"`)
 	hybridSlack := flag.Float64("hybrid-slack", 0, "hybrid escalation threshold (0 = default, negative = never refine); only meaningful with -eig-backend hybrid")
+	sketchRows := flag.Int("sketch-rows", 0, "AMS sketch rows for the ingestion experiments (0 = 4)")
+	sketchCols := flag.Int("sketch-cols", 0, "AMS sketch cols for the ingestion experiments (0 = 32)")
+	ingestBatch := flag.Int("ingest-batch", 0, "elision staleness cap: events between forced exact checks (0 = library default)")
 	flag.Parse()
 
 	backend, err := core.ParseEigBackend(*eigBackend)
@@ -39,6 +42,7 @@ func main() {
 	o := experiments.Options{
 		Quick: !*full, Seed: *seed, Workers: *parallel,
 		EigBackend: backend, HybridSlack: *hybridSlack,
+		SketchRows: *sketchRows, SketchCols: *sketchCols, IngestBatch: *ingestBatch,
 	}
 	if *telemetry != "" {
 		o.Telemetry = &experiments.Telemetry{}
@@ -62,6 +66,7 @@ func main() {
 		{"runtime", func() (*experiments.Table, error) { return experiments.RuntimeTable(o) }},
 		{"frontier", func() (*experiments.Table, error) { return experiments.BackendFrontier(o) }},
 		{"adaptive", func() (*experiments.Table, error) { return experiments.AdaptiveTable(o) }},
+		{"sketch", func() (*experiments.Table, error) { return experiments.SketchTable(o) }},
 	}
 
 	ran := false

@@ -58,6 +58,29 @@ func TestWANChaosSmoke(t *testing.T) {
 	}
 }
 
+func TestSketchF2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	out := runExample(t, "examples/sketchf2", "-events", "800")
+	if !strings.Contains(out, "protocol outcomes identical: true") {
+		t.Fatalf("sketchf2 elided and per-event runs diverged:\n%s", out)
+	}
+	if !strings.Contains(out, "% skipped") || !strings.Contains(out, "max error") {
+		t.Fatalf("sketchf2 did not print its elision summary:\n%s", out)
+	}
+}
+
+func TestSketchF2DirectSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	out := runExample(t, "examples/sketchf2", "-direct", "-rounds", "60")
+	if !strings.Contains(out, "max error") || !strings.Contains(out, "reduction") {
+		t.Fatalf("sketchf2 -direct did not print its summary:\n%s", out)
+	}
+}
+
 func TestMultitenantSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess smoke test")

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"automon/internal/linalg"
+)
+
+// budgetTestZone builds a node with the requested zone method installed
+// around x0, plus a per-event reference node sharing the same function.
+func budgetTestZone(t *testing.T, method Method, d int, eps float64) (elided, ref *Node, x0 []float64) {
+	t.Helper()
+	var f *Function
+	var zone *SafeZone
+	x0 = make([]float64, d)
+	for i := range x0 {
+		x0[i] = 0.1 + 0.05*float64(i%3)
+	}
+	switch method {
+	case MethodX:
+		f = benchCubic(d)
+		// Generous spectral-norm bound for the cubic's Hessian on the small
+		// walk region; overstating K only shrinks budgets.
+		f.WithCurvature(60)
+		grad := make([]float64, d)
+		f0 := f.Grad(x0, grad)
+		bLo, bHi := NeighborhoodBox(f, x0, 0.5)
+		z, err := BuildZoneX(f, x0, f0-eps, f0+eps, bLo, bHi, DecompOptions{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		zone = z
+	case MethodE:
+		f = benchBilinear(d)
+		dec, err := DecomposeE(f, x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f0 := f.Value(x0)
+		zone = BuildZoneE(f, dec, x0, f0-eps, f0+eps)
+	case MethodNone:
+		f = benchCubic(d)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for i := range lo {
+			lo[i], hi[i] = -1, 1
+		}
+		// Domain-only curvature: exercises the domain-box budget clamp.
+		f.WithDomain(lo, hi).WithCurvature(60)
+		f0 := f.Value(x0)
+		zone = BuildZoneNone(f, x0, f0-eps, f0+eps)
+	default:
+		t.Fatalf("unsupported method %v", method)
+	}
+	elided = NewNode(0, f)
+	ref = NewNode(1, f)
+	elided.ApplySync(syncForZone(zone, 0.5, d))
+	ref.ApplySync(syncForZone(zone, 0.5, d))
+	if !elided.EnableElision() {
+		t.Fatalf("EnableElision failed for %v", method)
+	}
+	return elided, ref, x0
+}
+
+// TestBudgetSoundnessRandomWalk drives the elided and per-event node pairs
+// through identical random walks and demands bit-identical outcomes: every
+// elided (skipped) event must be a non-violation on the reference node, and
+// the first violation must land on the same event with the same kind.
+func TestBudgetSoundnessRandomWalk(t *testing.T) {
+	const d = 6
+	for _, method := range []Method{MethodX, MethodE, MethodNone} {
+		var totalSkipped, totalViolations int
+		for seed := int64(0); seed < 8; seed++ {
+			elided, ref, x0 := budgetTestZone(t, method, d, 0.4)
+			rng := rand.New(rand.NewSource(seed))
+			x := linalg.Clone(x0)
+			step := make([]float64, d)
+			for ev := 0; ev < 4000; ev++ {
+				scale := 0.004
+				if rng.Float64() < 0.01 {
+					scale = 0.15 // occasional jump to force violations
+				}
+				var norm float64
+				for i := range step {
+					step[i] = rng.NormFloat64() * scale
+					norm += step[i] * step[i]
+				}
+				norm = math.Sqrt(norm)
+				linalg.Add(x, x, step)
+
+				vRef := ref.UpdateData(x)
+				var vEl *Violation
+				if elided.SpendBudget(norm) {
+					vEl = elided.UpdateDataRefresh(x)
+				} else {
+					totalSkipped++
+				}
+				if vEl == nil {
+					if vRef != nil {
+						t.Fatalf("%v seed %d event %d: elided path missed violation %v", method, seed, ev, vRef.Kind)
+					}
+					continue
+				}
+				if vRef == nil {
+					t.Fatalf("%v seed %d event %d: elided path raised spurious violation %v", method, seed, ev, vEl.Kind)
+				}
+				if vEl.Kind != vRef.Kind {
+					t.Fatalf("%v seed %d event %d: kinds differ (%v vs %v)", method, seed, ev, vEl.Kind, vRef.Kind)
+				}
+				totalViolations++
+				break // first violation ends the zone's life, as in the protocol
+			}
+		}
+		if totalSkipped == 0 {
+			t.Fatalf("%v: elision never skipped a check — budget machinery inert", method)
+		}
+		if totalViolations == 0 {
+			t.Fatalf("%v: no walk reached a violation — differential has no teeth", method)
+		}
+	}
+}
+
+// TestBudgetSpendGuards locks in the failure-to-safety contract of
+// SpendBudget: NaN or negative norms invalidate the budget rather than
+// extending it, and invalid budgets always demand exact checks.
+func TestBudgetSpendGuards(t *testing.T) {
+	elided, _, x0 := budgetTestZone(t, MethodE, 6, 0.4)
+	if !elided.SpendBudget(0) {
+		t.Fatal("fresh node (no refresh yet) must demand an exact check")
+	}
+	if v := elided.UpdateDataRefresh(x0); v != nil {
+		t.Fatalf("x0 must pass its own zone: %v", v)
+	}
+	if elided.SpendBudget(0) {
+		t.Fatal("zero spend against a fresh budget must not demand a check")
+	}
+	if !elided.SpendBudget(math.NaN()) {
+		t.Fatal("NaN spend must demand an exact check")
+	}
+	if !elided.SpendBudget(0) {
+		t.Fatal("budget must stay invalid after a NaN spend")
+	}
+	if v := elided.UpdateDataRefresh(x0); v != nil {
+		t.Fatal(v)
+	}
+	if !elided.SpendBudget(-1) {
+		t.Fatal("negative spend must demand an exact check")
+	}
+	if v := elided.UpdateDataRefresh(x0); v != nil {
+		t.Fatal(v)
+	}
+	if !elided.SpendBudget(math.Inf(1)) {
+		t.Fatal("infinite spend must exhaust any budget")
+	}
+}
+
+// TestBudgetResetOnProtocolEvents verifies that every state change the
+// budget was not derived from — raw SetData, a new zone, a slack rebalance —
+// forces the next event onto the exact path.
+func TestBudgetResetOnProtocolEvents(t *testing.T) {
+	const d = 6
+	elided, _, x0 := budgetTestZone(t, MethodE, d, 0.4)
+	refresh := func() {
+		if v := elided.UpdateDataRefresh(x0); v != nil {
+			t.Fatal(v)
+		}
+		if elided.SpendBudget(0) {
+			t.Fatal("expected a live budget after refresh")
+		}
+	}
+
+	refresh()
+	elided.SetData(x0)
+	if !elided.SpendBudget(0) {
+		t.Fatal("SetData must invalidate the budget")
+	}
+
+	refresh()
+	zone := elided.Zone()
+	elided.ApplySync(syncForZone(zone, 0.5, d))
+	if !elided.SpendBudget(0) {
+		t.Fatal("ApplySync must invalidate the budget")
+	}
+
+	refresh()
+	elided.ApplySlack(&Slack{NodeID: 0, Slack: make([]float64, d)})
+	if !elided.SpendBudget(0) {
+		t.Fatal("ApplySlack must invalidate the budget")
+	}
+}
+
+// TestEnableElisionRequiresCurvature: elision is licensed by a curvature
+// bound — automatic for constant-Hessian functions, explicit otherwise.
+func TestEnableElisionRequiresCurvature(t *testing.T) {
+	cubic := benchCubic(4)
+	n := NewNode(0, cubic)
+	if n.EnableElision() {
+		t.Fatal("non-constant Hessian with no WithCurvature must refuse elision")
+	}
+	if n.ElisionEnabled() {
+		t.Fatal("failed EnableElision must leave elision off")
+	}
+	cubic.WithCurvature(10)
+	if !n.EnableElision() {
+		t.Fatal("explicit curvature bound must license elision")
+	}
+
+	bilinear := benchBilinear(4)
+	k, domainOnly, ok := bilinear.CurvBound()
+	if !ok || domainOnly {
+		t.Fatalf("constant Hessian must give a global automatic bound (k=%v domainOnly=%v ok=%v)", k, domainOnly, ok)
+	}
+	// benchBilinear's Hessian is tridiagonal with unit off-diagonals:
+	// Gershgorin gives 2.
+	if math.Abs(k-2) > 1e-12 {
+		t.Fatalf("bilinear Gershgorin bound = %v, want 2", k)
+	}
+	if !NewNode(0, bilinear).EnableElision() {
+		t.Fatal("constant-Hessian function must enable elision automatically")
+	}
+}
+
+func TestWithCurvatureRejectsBadBounds(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("WithCurvature(%v) did not panic", bad)
+				}
+			}()
+			benchBilinear(2).WithCurvature(bad)
+		}()
+	}
+}
+
+// TestSolveRadius pins the closed form: a·t + ½·b·t² ≤ c.
+func TestSolveRadius(t *testing.T) {
+	cases := []struct {
+		a, b, c, want float64
+	}{
+		{2, 0, 1, 0.5},          // pure Lipschitz
+		{0, 2, 1, 1},            // pure curvature: ½·2·t² = 1 ⇒ t = 1
+		{1, 2, 4, 1.5615528128}, // (√(1+16)−1)/2
+		{1, 1, 0, 0},            // no margin
+		{1, 1, -3, 0},           // violated margin
+		{0, 0, 1, math.Inf(1)},  // constraint cannot move
+	}
+	for _, tc := range cases {
+		got := solveRadius(tc.a, tc.b, tc.c)
+		if math.IsInf(tc.want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("solveRadius(%v,%v,%v) = %v, want +Inf", tc.a, tc.b, tc.c, got)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("solveRadius(%v,%v,%v) = %v, want %v", tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+	if solveRadius(1, 0, math.NaN()) != 0 {
+		t.Fatal("NaN margin must give zero radius")
+	}
+}

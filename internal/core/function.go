@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -48,6 +49,20 @@ type Function struct {
 	// eigenvalue-gradient evaluations during decomposition allocate nothing.
 	// Stores *[]float64 to avoid interface boxing on Put.
 	eigScratch sync.Pool
+
+	// curvK is an explicit curvature bound installed via WithCurvature:
+	// ‖∇²f(x)‖₂ ≤ curvK for every x in the domain D. Used by safe-zone check
+	// elision (Node.EnableElision) to turn per-event vector movement into a
+	// sound bound on the movement of f.
+	curvK   float64
+	curvSet bool
+
+	// curvOnce guards the automatic curvature bound derived for
+	// constant-Hessian functions (Gershgorin on the constant H; globally
+	// valid).
+	curvOnce   sync.Once
+	autoCurv   float64
+	autoCurvOK bool
 }
 
 // NewFunction compiles program into a monitored function of dimension dim.
@@ -64,6 +79,55 @@ func (f *Function) WithDomain(lo, hi []float64) *Function {
 	f.DomainLo = linalg.Clone(lo)
 	f.DomainHi = linalg.Clone(hi)
 	return f
+}
+
+// WithCurvature declares k an upper bound on the Hessian spectral norm
+// ‖∇²f(x)‖₂ for every x in the domain D (everywhere, if no domain is set)
+// and returns f. The bound licenses safe-zone check elision for
+// non-constant-Hessian functions; it is trusted, so an understated k voids
+// the elision soundness guarantee the same way a wrong function body would.
+func (f *Function) WithCurvature(k float64) *Function {
+	if !(k >= 0) || math.IsInf(k, 0) {
+		panic(fmt.Sprintf("core: curvature bound must be finite and non-negative, got %v", k))
+	}
+	f.curvK = k
+	f.curvSet = true
+	return f
+}
+
+// CurvBound returns a curvature bound for f: k with ‖∇²f(x)‖₂ ≤ k, whether
+// the bound is valid only on the domain D (domainOnly) or globally, and
+// whether any bound is available. An explicit WithCurvature bound wins;
+// otherwise constant-Hessian functions get an automatic Gershgorin bound on
+// the (constant) Hessian, which is globally valid. Functions with neither
+// cannot use check elision.
+func (f *Function) CurvBound() (k float64, domainOnly, ok bool) {
+	if f.curvSet {
+		return f.curvK, f.DomainLo != nil, true
+	}
+	f.curvOnce.Do(func() {
+		if !f.Graph.HasConstantHessian() {
+			return
+		}
+		d := f.Dim()
+		h := linalg.NewMat(d, d)
+		f.Hessian(make([]float64, d), h)
+		var bound float64
+		for i := 0; i < d; i++ {
+			var row float64
+			for j := 0; j < d; j++ {
+				row += math.Abs(h.At(i, j))
+			}
+			if row > bound {
+				bound = row
+			}
+		}
+		if !(bound >= 0) { // NaN Hessian entries: refuse the bound
+			return
+		}
+		f.autoCurv, f.autoCurvOK = bound, true
+	})
+	return f.autoCurv, false, f.autoCurvOK
 }
 
 // Dim returns the input dimension d.

@@ -23,6 +23,10 @@ type Node struct {
 
 	// matrix retained across syncs for ADCD-E (shipped once).
 	eMatrix *linalg.Mat
+
+	// el is the safe-zone check-elision state (budget.go); inert until
+	// EnableElision.
+	el elision
 }
 
 // NewNode creates a node for function f. The node is inert until the first
@@ -43,9 +47,12 @@ func NewNode(id int, f *Function) *Node {
 // DataResponse). The returned slice is a copy.
 func (n *Node) LocalVector() []float64 { return linalg.Clone(n.x) }
 
-// SetData replaces the local vector without checking constraints.
+// SetData replaces the local vector without checking constraints. Any
+// outstanding elision budget is invalidated: it was computed for the old
+// vector.
 func (n *Node) SetData(x []float64) {
 	copy(n.x, x)
+	n.resetBudget()
 }
 
 // UpdateData replaces the local vector and checks the local constraints,
@@ -88,8 +95,10 @@ func (n *Node) CurrentValue() float64 {
 	return n.zone.F0
 }
 
-// ApplySync installs a new safe zone and slack from the coordinator.
+// ApplySync installs a new safe zone and slack from the coordinator. The
+// elision budget is invalidated: it was derived from the previous zone.
 func (n *Node) ApplySync(m *Sync) {
+	n.resetBudget()
 	if m.Zone != nil { // hand-crafted (MethodCustom) zone, in-memory only
 		n.zone = m.Zone
 		n.haveZone = true
@@ -130,9 +139,11 @@ func (n *Node) ApplySync(m *Sync) {
 	copy(n.slack, m.Slack)
 }
 
-// ApplySlack installs a rebalanced slack vector from a lazy sync.
+// ApplySlack installs a rebalanced slack vector from a lazy sync. The
+// elision budget is invalidated: the slacked point it was computed at moved.
 func (n *Node) ApplySlack(m *Slack) {
 	copy(n.slack, m.Slack)
+	n.resetBudget()
 }
 
 // Zone exposes the node's current safe zone (nil before the first sync);

@@ -55,6 +55,13 @@ type Options struct {
 	// backend's escalation threshold (0 = core.DefaultHybridSlack, negative
 	// = never escalate).
 	HybridSlack float64
+
+	// SketchRows and SketchCols shape the AMS sketches of the ingestion
+	// experiments (SketchTable, the sketch-f2 workload); 0 means 4×32.
+	SketchRows, SketchCols int
+	// IngestBatch is the elision staleness cap (events between forced exact
+	// checks) for the ingestion experiments; 0 means ingest.DefaultBatchSize.
+	IngestBatch int
 }
 
 // decomp stamps the sweep-wide eigen-engine selection onto a workload's

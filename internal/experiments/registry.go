@@ -8,7 +8,8 @@ import (
 
 // NamedWorkload resolves a workload by name for the CLI tools. Recognized
 // names: inner-product[-d], quadratic[-d], kld[-d], mlp-d, dnn, rosenbrock,
-// intrusion-entropy, regime-rosenbrock.
+// intrusion-entropy, regime-rosenbrock, sketch-f2 (shape from
+// Options.SketchRows/SketchCols).
 // The trailing -d sets the dimension (e.g. kld-40). Both the coordinator and
 // node processes of a distributed run construct the same workload from the
 // same name and seed, so trained models and streams agree bit-for-bit.
@@ -50,6 +51,8 @@ func NamedWorkload(name string, o Options) (*Workload, error) {
 		return IntrusionEntropyWorkload(o, 9, 2000), nil
 	case "regime-rosenbrock":
 		return RegimeShiftWorkload(o, 6, 1500), nil
+	case "sketch-f2":
+		return SketchF2Workload(o, 5, 400), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown workload %q", name)
 }

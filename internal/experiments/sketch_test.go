@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSketchTableShape runs the quick-suite ingestion comparison and pins
+// the PR's claims on it: the elided and per-event AutoMon rows are identical
+// in every protocol-visible column (messages, payload, errors) and differ
+// only in checks run, the elided run respects its ε bound, and exactly one
+// periodic row is flagged as the equal-accuracy pick.
+func TestSketchTableShape(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	tab, err := SketchTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10 (2 automon + 8 periodic)", len(tab.Rows))
+	}
+	col := make(map[string]int)
+	for i, h := range tab.Header {
+		col[h] = i
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tab.Header))
+		}
+	}
+	elided, perEvent := tab.Rows[0], tab.Rows[1]
+	if elided[col["algorithm"]] != "automon-elided" || perEvent[col["algorithm"]] != "automon-perevent" {
+		t.Fatalf("unexpected leading rows: %v / %v", elided[0], perEvent[0])
+	}
+	for _, c := range []string{"messages", "payload_bytes", "max_err", "mean_err"} {
+		if elided[col[c]] != perEvent[col[c]] {
+			t.Errorf("%s diverges between elided (%v) and per-event (%v) runs", c, elided[col[c]], perEvent[col[c]])
+		}
+	}
+	maxErr, err := strconv.ParseFloat(elided[col["max_err"]], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 0.1 {
+		t.Errorf("elided max error %v exceeds eps 0.1", maxErr)
+	}
+	elidedPct, err := strconv.ParseFloat(elided[col["elided_pct"]], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elidedPct < 50 {
+		t.Errorf("only %v%% of checks elided; the episode stream should elide most", elidedPct)
+	}
+	picks := 0
+	for _, row := range tab.Rows {
+		if row[col["note"]] == "equal-accuracy pick" {
+			picks++
+			if !strings.HasPrefix(row[col["algorithm"]], "periodic-") {
+				t.Errorf("pick landed on %v, want a periodic row", row[col["algorithm"]])
+			}
+		}
+	}
+	if picks != 1 {
+		t.Errorf("got %d equal-accuracy picks, want exactly 1", picks)
+	}
+}
+
+// TestSketchF2WorkloadRegistered covers the registry entry and the shape
+// knobs: the workload name reflects Options.SketchRows/SketchCols and the
+// function dimension matches.
+func TestSketchF2WorkloadRegistered(t *testing.T) {
+	o := Options{Quick: true, Seed: 1, SketchRows: 3, SketchCols: 16}
+	w, err := NamedWorkload("sketch-f2", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "sketch-f2-3x16" {
+		t.Fatalf("workload name %q does not reflect the sketch shape", w.Name)
+	}
+	if got := w.F.Dim(); got != 3*16 {
+		t.Fatalf("function dim %d, want 48", got)
+	}
+	if w.Data.Nodes < 1 || w.Data.Rounds < 1 {
+		t.Fatalf("workload data is empty: %d nodes × %d rounds", w.Data.Nodes, w.Data.Rounds)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"automon/internal/core"
 	"automon/internal/linalg"
 	"automon/internal/nn"
+	"automon/internal/sketch"
 )
 
 // InnerProduct returns f([u, v]) = ⟨u, v⟩ with dim = 2·half. Its Hessian is
@@ -80,7 +81,9 @@ func KLD(bins int, tau float64) *core.Function {
 	for i := range hi {
 		hi[i] = 1
 	}
-	return f.WithDomain(lo, hi)
+	// Gershgorin over the per-bin 2×2 Hessian blocks on the unit box: the q
+	// row dominates with 1/(q+τ) + (p+τ)/(q+τ)² ≤ 1/τ + (1+τ)/τ².
+	return f.WithDomain(lo, hi).WithCurvature(1/tau + (1+tau)/(tau*tau))
 }
 
 // Entropy returns f(p) = −Σ (pᵢ+τ)·log(pᵢ+τ), a concave function on the
@@ -101,7 +104,8 @@ func Entropy(bins int, tau float64) *core.Function {
 	for i := range hi {
 		hi[i] = 1
 	}
-	return f.WithDomain(lo, hi)
+	// The Hessian is diag(−1/(pᵢ+τ)), so ‖∇²f‖ ≤ 1/τ on the unit box.
+	return f.WithDomain(lo, hi).WithCurvature(1 / tau)
 }
 
 // Network wraps a trained nn.Network as a monitored function; this is the
@@ -184,10 +188,14 @@ func CosineSimilarity(half int) *core.Function {
 // motif.
 func Logistic(w []float64, bias float64) *core.Function {
 	weights := append([]float64(nil), w...)
-	return core.NewFunction(fmt.Sprintf("logistic-%d", len(w)), len(w),
+	f := core.NewFunction(fmt.Sprintf("logistic-%d", len(w)), len(w),
 		func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref {
 			return b.Sigmoid(b.Add(b.Dot(b.ConstVec(weights), x), b.Const(bias)))
 		})
+	// ∇²f = σ″(wᵀx+b)·wwᵀ and max|σ″| = √3/18, so ‖∇²f‖ ≤ (√3/18)·‖w‖²
+	// everywhere.
+	nw := linalg.Norm2(weights)
+	return f.WithCurvature(math.Sqrt(3) / 18 * nw * nw)
 }
 
 // Rosenbrock returns f(x) = (1−x₁)² + 100(x₂−x₁²)², the hard non-constant-
@@ -205,7 +213,8 @@ func Rosenbrock() *core.Function {
 func Sine() *core.Function {
 	f := core.NewFunction("sin", 1,
 		func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref { return b.Sin(x[0]) })
-	return f.WithDomain([]float64{0}, []float64{math.Pi})
+	// |f″| = |sin| ≤ 1 everywhere (recorded against the domain box).
+	return f.WithDomain([]float64{0}, []float64{math.Pi}).WithCurvature(1)
 }
 
 // Saddle returns f(x) = −x₁² + x₂², the §4.6 ablation function.
@@ -240,16 +249,12 @@ func AugmentSquares(v float64) []float64 { return []float64{v, v * v} }
 
 // AMSF2 is the §5 sketch-composition query: for an AMS sketch with the
 // given shape flattened into the local vector, f(x) = (1/rows)·Σ xᵢ² is the
-// (mean-estimator) second-moment query. It is a positive-semidefinite
-// quadratic form, so AutoMon monitors sketched F₂ with ADCD-E and a
-// deterministic guarantee.
+// (mean-estimator) second-moment query. It delegates to sketch.F2Query,
+// which owns the sketch query family (entropy and inner product live there
+// too); the constructor is kept in the zoo so sweeps over "every bundled
+// function" keep covering it.
 func AMSF2(rows, cols int) *core.Function {
-	d := rows * cols
-	inv := 1.0 / float64(rows)
-	return core.NewFunction(fmt.Sprintf("ams-f2-%dx%d", rows, cols), d,
-		func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref {
-			return b.Mul(b.Const(inv), b.SqNorm(x))
-		})
+	return sketch.F2Query(rows, cols)
 }
 
 // SqNorm returns f(x) = ‖x‖², a convex constant-Hessian sanity function.

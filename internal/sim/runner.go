@@ -67,6 +67,15 @@ type Config struct {
 	// algorithm; 0 means 50.
 	HybridWindow int
 
+	// Elide enables safe-zone check elision for the AutoMon algorithm: each
+	// round a node spends its cached distance-to-boundary budget by the
+	// window vector's exact movement and re-runs the safe-zone check only
+	// once the budget is exhausted (or a protocol event reset it). Protocol
+	// outcomes are bit-identical to the per-round path. Requires F to carry
+	// a curvature bound (constant Hessian or WithCurvature); Run fails
+	// loudly otherwise.
+	Elide bool
+
 	// Trace records per-round estimate/true/error series and the cumulative
 	// message count (used by the time-series figures).
 	Trace bool
@@ -95,6 +104,10 @@ type Result struct {
 	MaxErr, MeanErr, P99Err float64
 	MissedRounds            int // rounds with error above ε
 
+	// ElidedChecks counts monitored node-rounds whose safe-zone check the
+	// elision budget skipped (Elide runs only; zero otherwise).
+	ElidedChecks int
+
 	Stats  core.CoordStats
 	TunedR float64
 	// FinalR is the coordinator's neighborhood radius when the run ended; it
@@ -116,6 +129,11 @@ type Result struct {
 type countingComm struct {
 	nodes []*core.Node
 	res   *Result
+
+	// refresh, when set (elided runs), materializes node id's current window
+	// vector into the node before a coordinator data pull, since the elided
+	// path leaves node state stale on skipped rounds.
+	refresh func(id int)
 
 	reg     *obs.Registry
 	lbl     func(extra string) string
@@ -187,6 +205,9 @@ func simCounter(reg *obs.Registry, name, help string) *obs.Counter {
 }
 
 func (c *countingComm) RequestData(id int) []float64 {
+	if c.refresh != nil {
+		c.refresh(id)
+	}
 	x := c.nodes[id].LocalVector()
 	c.count(&core.DataRequest{NodeID: id})
 	c.count(&core.DataResponse{NodeID: id, X: x})
@@ -312,6 +333,18 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 		nodes[i].SetData(windows[i].Vector())
 	}
 	comm := newCountingComm(cfg, res, nodes)
+	if cfg.Elide {
+		for i := range nodes {
+			if !nodes[i].EnableElision() {
+				return nil, fmt.Errorf("sim: elision needs a curvature bound for %s (constant Hessian or WithCurvature)", cfg.F.Name)
+			}
+		}
+		// A skipped round leaves node state stale, so data pulls must
+		// materialize the current window vector first. SetData resets the
+		// elision budget, and every pulled node then receives a sync or slack
+		// (which reset it again), so budget soundness is preserved.
+		comm.refresh = func(id int) { nodes[id].SetData(windows[id].Vector()) }
+	}
 
 	startRound := 0
 	coreCfg := cfg.Core
@@ -358,6 +391,16 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 		return nil, err
 	}
 
+	// prev tracks each node's last-seen window vector so the elided path can
+	// spend the budget by the round's exact movement ‖x_r − x_{r−1}‖.
+	var prev [][]float64
+	if cfg.Elide {
+		prev = make([][]float64, n)
+		for i := range prev {
+			prev[i] = linalg.Clone(windows[i].Vector())
+		}
+	}
+
 	avg := make([]float64, cfg.F.Dim())
 	for r := startRound; r < ds.Rounds; r++ {
 		for i := 0; i < n; i++ {
@@ -366,7 +409,19 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 				continue
 			}
 			windows[i].Push(s)
-			v := nodes[i].UpdateData(windows[i].Vector())
+			var v *core.Violation
+			if cfg.Elide {
+				x := windows[i].Vector()
+				norm := math.Sqrt(linalg.SqDist(x, prev[i]))
+				copy(prev[i], x)
+				if !nodes[i].SpendBudget(norm) {
+					res.ElidedChecks++
+					continue // proven inside the safe zone: no exact check
+				}
+				v = nodes[i].UpdateDataRefresh(x)
+			} else {
+				v = nodes[i].UpdateData(windows[i].Vector())
+			}
 			if v == nil {
 				continue
 			}

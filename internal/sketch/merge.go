@@ -1,0 +1,120 @@
+package sketch
+
+import "fmt"
+
+// MismatchError reports an attempt to combine sketches whose hash families or
+// shapes disagree. Combining such sketches is not an approximation error —
+// the buckets are unrelated and every query on the result is silently wrong —
+// so every combine path rejects it with this typed error.
+type MismatchError struct {
+	Op                   string // "merge", "average", "ingest", ...
+	Kind                 string // "ams" or "countmin"
+	RowsA, ColsA         int
+	RowsB, ColsB         int
+	SeedA, SeedB         uint64
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("sketch: %s %s: incompatible sketches (shape %dx%d seed %#x vs shape %dx%d seed %#x)",
+		e.Op, e.Kind, e.RowsA, e.ColsA, e.SeedA, e.RowsB, e.ColsB, e.SeedB)
+}
+
+// Compatible reports whether two AMS sketches share a hash family and shape,
+// returning a typed *MismatchError when they do not.
+func (a *AMS) Compatible(op string, b *AMS) error {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.seed != b.seed {
+		return &MismatchError{Op: op, Kind: "ams",
+			RowsA: a.Rows, ColsA: a.Cols, SeedA: a.seed,
+			RowsB: b.Rows, ColsB: b.Cols, SeedB: b.seed}
+	}
+	return nil
+}
+
+// Merge adds b into a (sketch linearity: the merged sketch is the sketch of
+// the concatenated streams). Errors with *MismatchError on seed or shape
+// disagreement, leaving a unchanged.
+func (a *AMS) Merge(b *AMS) error {
+	if err := a.Compatible("merge", b); err != nil {
+		return err
+	}
+	for i, v := range b.data {
+		a.data[i] += v
+	}
+	return nil
+}
+
+// AverageAMS returns a new sketch holding the coordinate-wise mean of the
+// inputs — the sketch of the average stream, which is exactly the x̄ AutoMon
+// monitors. All inputs must share shape and seed.
+func AverageAMS(sketches ...*AMS) (*AMS, error) {
+	if len(sketches) == 0 {
+		return nil, &MismatchError{Op: "average", Kind: "ams"}
+	}
+	first := sketches[0]
+	out, err := NewAMS(first.Rows, first.Cols, first.seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sketches {
+		if err := first.Compatible("average", s); err != nil {
+			return nil, err
+		}
+		for i, v := range s.data {
+			out.data[i] += v
+		}
+	}
+	inv := 1 / float64(len(sketches))
+	for i := range out.data {
+		out.data[i] *= inv
+	}
+	return out, nil
+}
+
+// Compatible reports whether two Count-Min sketches share a hash family and
+// shape, returning a typed *MismatchError when they do not.
+func (c *CountMin) Compatible(op string, b *CountMin) error {
+	if c.Rows != b.Rows || c.Cols != b.Cols || c.seed != b.seed {
+		return &MismatchError{Op: op, Kind: "countmin",
+			RowsA: c.Rows, ColsA: c.Cols, SeedA: c.seed,
+			RowsB: b.Rows, ColsB: b.Cols, SeedB: b.seed}
+	}
+	return nil
+}
+
+// Merge adds b into c. Errors with *MismatchError on seed or shape
+// disagreement, leaving c unchanged.
+func (c *CountMin) Merge(b *CountMin) error {
+	if err := c.Compatible("merge", b); err != nil {
+		return err
+	}
+	for i, v := range b.data {
+		c.data[i] += v
+	}
+	return nil
+}
+
+// AverageCountMin returns the coordinate-wise mean of the inputs. All inputs
+// must share shape and seed.
+func AverageCountMin(sketches ...*CountMin) (*CountMin, error) {
+	if len(sketches) == 0 {
+		return nil, &MismatchError{Op: "average", Kind: "countmin"}
+	}
+	first := sketches[0]
+	out, err := NewCountMin(first.Rows, first.Cols, first.seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sketches {
+		if err := first.Compatible("average", s); err != nil {
+			return nil, err
+		}
+		for i, v := range s.data {
+			out.data[i] += v
+		}
+	}
+	inv := 1 / float64(len(sketches))
+	for i := range out.data {
+		out.data[i] *= inv
+	}
+	return out, nil
+}

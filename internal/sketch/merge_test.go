@@ -1,0 +1,227 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRowSeedBitIdentical(t *testing.T) {
+	// The precomputed per-row seeds must reproduce the original double-hash
+	// bucket/sign assignment exactly — sketches written by older builds stay
+	// mergeable with sketches written by this one.
+	a, _ := NewAMS(6, 48, 0xfeed)
+	for row := 0; row < a.Rows; row++ {
+		for item := uint64(0); item < 500; item++ {
+			v := mix64(item ^ mix64(uint64(row)+a.seed))
+			wantCol := int(v % uint64(a.Cols))
+			wantSign := -1.0
+			if (v>>32)&1 == 1 {
+				wantSign = 1.0
+			}
+			col, sign := a.cell(row, item)
+			if col != wantCol || sign != wantSign {
+				t.Fatalf("row %d item %d: cell (%d, %v), reference (%d, %v)", row, item, col, sign, wantCol, wantSign)
+			}
+		}
+	}
+	cm, _ := NewCountMin(6, 48, 0xfeed)
+	for row := 0; row < cm.Rows; row++ {
+		for item := uint64(0); item < 500; item++ {
+			want := int(mix64(item^mix64(uint64(row)+cm.seed+0x5bd1)) % uint64(cm.Cols))
+			if got := cm.cell(row, item); got != want {
+				t.Fatalf("countmin row %d item %d: cell %d, reference %d", row, item, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeMismatchRejected(t *testing.T) {
+	base, _ := NewAMS(4, 32, 7)
+	cases := []*AMS{}
+	shape, _ := NewAMS(4, 64, 7)
+	rows, _ := NewAMS(8, 32, 7)
+	seed, _ := NewAMS(4, 32, 8)
+	cases = append(cases, shape, rows, seed)
+	for _, other := range cases {
+		err := base.Merge(other)
+		if err == nil {
+			t.Fatalf("merge of %dx%d seed %d into %dx%d seed %d accepted",
+				other.Rows, other.Cols, other.seed, base.Rows, base.Cols, base.seed)
+		}
+		var mm *MismatchError
+		if !errors.As(err, &mm) {
+			t.Fatalf("merge error is %T, want *MismatchError", err)
+		}
+		if mm.Op != "merge" || mm.Kind != "ams" {
+			t.Fatalf("mismatch error fields: %+v", mm)
+		}
+		if !strings.Contains(mm.Error(), "incompatible") {
+			t.Fatalf("error text: %q", mm.Error())
+		}
+		if _, err := AverageAMS(base, other); err == nil {
+			t.Fatal("average of incompatible sketches accepted")
+		}
+	}
+	// A rejected merge must leave the receiver untouched.
+	base.Add(1, 2)
+	before := append([]float64(nil), base.Vector()...)
+	seed.Add(1, 5)
+	if err := base.Merge(seed); err == nil {
+		t.Fatal("expected mismatch")
+	}
+	for i, v := range base.Vector() {
+		if v != before[i] {
+			t.Fatal("failed merge mutated the receiver")
+		}
+	}
+
+	cmA, _ := NewCountMin(4, 32, 7)
+	cmB, _ := NewCountMin(4, 32, 9)
+	err := cmA.Merge(cmB)
+	var mm *MismatchError
+	if !errors.As(err, &mm) || mm.Kind != "countmin" {
+		t.Fatalf("countmin merge error: %v", err)
+	}
+	if _, err := AverageCountMin(cmA, cmB); err == nil {
+		t.Fatal("countmin average of incompatible sketches accepted")
+	}
+}
+
+func TestMergeAndAverage(t *testing.T) {
+	a, _ := NewAMS(4, 32, 3)
+	b, _ := NewAMS(4, 32, 3)
+	a.Add(10, 2)
+	b.Add(11, -3)
+
+	both, _ := NewAMS(4, 32, 3)
+	both.Add(10, 2)
+	both.Add(11, -3)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Vector() {
+		if math.Abs(a.Vector()[i]-both.Vector()[i]) > 1e-12 {
+			t.Fatal("merge is not stream concatenation")
+		}
+	}
+
+	// Average of node sketches = sketch of the averaged stream.
+	n1, _ := NewAMS(4, 32, 3)
+	n2, _ := NewAMS(4, 32, 3)
+	n1.Add(10, 4)
+	n2.Add(11, 2)
+	avg, err := AverageAMS(n1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewAMS(4, 32, 3)
+	want.Add(10, 2)
+	want.Add(11, 1)
+	for i := range avg.Vector() {
+		if math.Abs(avg.Vector()[i]-want.Vector()[i]) > 1e-12 {
+			t.Fatal("average is not the sketch of the average stream")
+		}
+	}
+	if avg.Seed() != n1.Seed() {
+		t.Fatal("average must preserve the seed")
+	}
+
+	c1, _ := NewCountMin(2, 16, 5)
+	c2, _ := NewCountMin(2, 16, 5)
+	c1.Add(3, 4)
+	c2.Add(3, 2)
+	cavg, err := AverageCountMin(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cavg.Count(3); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("averaged count = %v, want 3", got)
+	}
+	if _, err := AverageAMS(); err == nil {
+		t.Fatal("empty average accepted")
+	}
+	if _, err := AverageCountMin(); err == nil {
+		t.Fatal("empty countmin average accepted")
+	}
+}
+
+func TestQueryFamily(t *testing.T) {
+	// F2Query over a sketch vector equals the sketch's own F2 estimate.
+	a, _ := NewAMS(4, 16, 1)
+	for i := uint64(0); i < 40; i++ {
+		a.Add(i%7, 1)
+	}
+	f := F2Query(4, 16)
+	if got, want := f.Value(a.Vector()), a.F2(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("F2Query = %v, sketch F2 = %v", got, want)
+	}
+	if _, _, ok := f.CurvBound(); !ok {
+		t.Fatal("F2Query must expose an automatic curvature bound")
+	}
+
+	// EntropyQuery carries an explicit domain-only curvature bound.
+	e := EntropyQuery(3, 8, 0.05)
+	k, domainOnly, ok := e.CurvBound()
+	if !ok || !domainOnly {
+		t.Fatalf("entropy curvature: k=%v domainOnly=%v ok=%v", k, domainOnly, ok)
+	}
+	if want := (1.0 / 3) / 0.05; math.Abs(k-want) > 1e-12 {
+		t.Fatalf("entropy curvature bound = %v, want %v", k, want)
+	}
+	// Uniform scaled counters: entropy of d equal masses p with smoothing.
+	d := 3 * 8
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = 0.25
+	}
+	p := 0.25 + 0.05
+	want := -(float64(d) * p * math.Log(p)) / 3
+	if got := e.Value(x); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("entropy value = %v, want %v", got, want)
+	}
+
+	// InnerProductQuery over stacked same-seed sketches estimates ⟨u, v⟩.
+	rows, cols := 8, 128
+	su, _ := NewAMS(rows, cols, 9)
+	sv, _ := NewAMS(rows, cols, 9)
+	// u = v = indicator-ish stream: ⟨u, v⟩ = Σ freq².
+	var exact float64
+	for i := uint64(0); i < 30; i++ {
+		su.Add(i, 1)
+		sv.Add(i, 1)
+		exact++
+	}
+	ip := InnerProductQuery(rows, cols)
+	x2 := make([]float64, 2*rows*cols)
+	copy(x2, su.Vector())
+	copy(x2[rows*cols:], sv.Vector())
+	if got := ip.Value(x2); math.Abs(got-exact)/exact > 0.5 {
+		t.Fatalf("inner product estimate = %v, exact %v", got, exact)
+	}
+	if !ip.HasConstantHessian() {
+		t.Fatal("inner-product query must have a constant Hessian (ADCD-E)")
+	}
+}
+
+func TestCountMinMergeAccumulates(t *testing.T) {
+	a, _ := NewCountMin(2, 16, 5)
+	b, _ := NewCountMin(2, 16, 5)
+	a.Add(3, 4)
+	b.Add(3, 2)
+	b.Add(7, 1)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Count(3); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("merged count(3) = %v, want 6", got)
+	}
+	if got := a.Count(7); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("merged count(7) = %v, want 1", got)
+	}
+	if a.Seed() != b.Seed() {
+		t.Fatal("merge must not change the hash family")
+	}
+}

@@ -1,0 +1,72 @@
+package sketch
+
+import (
+	"fmt"
+
+	"automon/internal/autodiff"
+	"automon/internal/core"
+)
+
+// F2Query is the §5 sketch-composition query for an AMS sketch with the
+// given shape flattened into the local vector: f(x) = (1/rows)·Σ xᵢ², the
+// mean-estimator second moment. A positive-semidefinite quadratic form, so
+// AutoMon selects ADCD-E and the approximation guarantee is deterministic;
+// the constant Hessian also gives check elision its curvature bound for
+// free.
+func F2Query(rows, cols int) *core.Function {
+	d := rows * cols
+	inv := 1.0 / float64(rows)
+	return core.NewFunction(fmt.Sprintf("ams-f2-%dx%d", rows, cols), d,
+		func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref {
+			return b.Mul(b.Const(inv), b.SqNorm(x))
+		})
+}
+
+// EntropyQuery monitors the smoothed entropy of a Count-Min sketch whose
+// counters are scaled into [0, 1] (each row of the sketch is a coarsened
+// histogram of the stream, so the per-row entropy of the bucket masses
+// estimates the stream entropy up to the collision coarsening):
+//
+//	f(x) = (1/rows)·Σᵢ −(xᵢ+τ)·log(xᵢ+τ)
+//
+// The Hessian is diagonal with entries −1/(rows·(xᵢ+τ)), so on the [0, 1]
+// domain ‖∇²f‖₂ ≤ 1/(rows·τ) — the explicit curvature bound that licenses
+// check elision for this non-constant-Hessian query.
+func EntropyQuery(rows, cols int, tau float64) *core.Function {
+	d := rows * cols
+	inv := 1.0 / float64(rows)
+	f := core.NewFunction(fmt.Sprintf("cm-entropy-%dx%d", rows, cols), d,
+		func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref {
+			t := b.Const(tau)
+			terms := make([]autodiff.Ref, d)
+			for i := 0; i < d; i++ {
+				p := b.Add(x[i], t)
+				terms[i] = b.Mul(p, b.Log(p))
+			}
+			return b.Mul(b.Const(-inv), b.Sum(terms...))
+		})
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return f.WithDomain(lo, hi).WithCurvature(inv / tau)
+}
+
+// InnerProductQuery monitors the inner product of two streams sketched into
+// a pair of same-seed AMS sketches stacked into one local vector
+// x = [sketch(u), sketch(v)]:
+//
+//	f(x) = (1/rows)·⟨x[:d], x[d:]⟩
+//
+// which is the classical AMS inner-product estimator (per-row dot products
+// of the tug-of-war counters, mean across rows). The Hessian is constant,
+// so ADCD-E applies and elision derives its curvature bound automatically.
+func InnerProductQuery(rows, cols int) *core.Function {
+	d := rows * cols
+	inv := 1.0 / float64(rows)
+	return core.NewFunction(fmt.Sprintf("sketch-ip-%dx%d", rows, cols), 2*d,
+		func(b *autodiff.Builder, x []autodiff.Ref) autodiff.Ref {
+			return b.Mul(b.Const(inv), b.Dot(x[:d], x[d:]))
+		})
+}

@@ -24,6 +24,20 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Update is one turnstile event: Item's frequency changes by Delta. It is
+// the event currency of the ingestion layer (internal/ingest) and the
+// stream-level event generators.
+type Update struct {
+	Item  uint64
+	Delta float64
+}
+
+// StreamB tags an Update as belonging to the second stream of a two-stream
+// source (the inner-product query sketches streams u and v side by side):
+// set the bit on Item to route the event; the remaining 63 bits identify
+// the item.
+const StreamB uint64 = 1 << 63
+
 // AMS is an AMS (Alon–Matias–Szegedy) "Tug-of-War" sketch with Rows × Cols
 // counters: every row r keeps S[r][c] = Σ_i s_r(i)·freq(i)·[h_r(i) = c],
 // and the second moment F₂ is estimated per row by Σ_c S[r][c]², with the
@@ -33,7 +47,11 @@ func mix64(x uint64) uint64 {
 type AMS struct {
 	Rows, Cols int
 	seed       uint64
-	data       []float64
+	// rowSeed[r] = mix64(r + seed) is precomputed so the per-event Add loop
+	// finalizes one mix64 per row instead of two; the cell function is
+	// bit-identical to hashing item ^ mix64(row + seed) on the fly.
+	rowSeed []uint64
+	data    []float64
 }
 
 // NewAMS creates an AMS sketch. Sketches with equal shapes and seeds are
@@ -43,12 +61,20 @@ func NewAMS(rows, cols int, seed uint64) (*AMS, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, errors.New("sketch: AMS needs positive shape")
 	}
-	return &AMS{Rows: rows, Cols: cols, seed: seed, data: make([]float64, rows*cols)}, nil
+	rs := make([]uint64, rows)
+	for r := range rs {
+		rs[r] = mix64(uint64(r) + seed)
+	}
+	return &AMS{Rows: rows, Cols: cols, seed: seed, rowSeed: rs, data: make([]float64, rows*cols)}, nil
 }
+
+// Seed returns the hash seed the sketch was built with; sketches combine
+// only when their seeds (hash families) and shapes agree.
+func (a *AMS) Seed() uint64 { return a.seed }
 
 // cell returns the (bucket, sign) of an item within a row.
 func (a *AMS) cell(row int, item uint64) (col int, sign float64) {
-	v := mix64(item ^ mix64(uint64(row)+a.seed))
+	v := mix64(item ^ a.rowSeed[row])
 	col = int(v % uint64(a.Cols))
 	if (v>>32)&1 == 1 {
 		return col, 1
@@ -91,7 +117,10 @@ func (a *AMS) F2() float64 {
 type CountMin struct {
 	Rows, Cols int
 	seed       uint64
-	data       []float64
+	// rowSeed[r] = mix64(r + seed + 0x5bd1): same one-mix64-per-event trick
+	// as AMS, bit-identical buckets to the on-the-fly double hash.
+	rowSeed []uint64
+	data    []float64
 }
 
 // NewCountMin creates a Count-Min sketch.
@@ -99,11 +128,18 @@ func NewCountMin(rows, cols int, seed uint64) (*CountMin, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, errors.New("sketch: CountMin needs positive shape")
 	}
-	return &CountMin{Rows: rows, Cols: cols, seed: seed, data: make([]float64, rows*cols)}, nil
+	rs := make([]uint64, rows)
+	for r := range rs {
+		rs[r] = mix64(uint64(r) + seed + 0x5bd1)
+	}
+	return &CountMin{Rows: rows, Cols: cols, seed: seed, rowSeed: rs, data: make([]float64, rows*cols)}, nil
 }
 
+// Seed returns the hash seed the sketch was built with.
+func (c *CountMin) Seed() uint64 { return c.seed }
+
 func (c *CountMin) cell(row int, item uint64) int {
-	return int(mix64(item^mix64(uint64(row)+c.seed+0x5bd1)) % uint64(c.Cols))
+	return int(mix64(item^c.rowSeed[row]) % uint64(c.Cols))
 }
 
 // Add increases an item's count by delta (delta ≥ 0 for the classical

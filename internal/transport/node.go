@@ -2,12 +2,14 @@ package transport
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"automon/internal/core"
+	"automon/internal/linalg"
 	"automon/internal/obs"
 )
 
@@ -37,9 +39,16 @@ type NodeClient struct {
 	err     error
 	closed  bool
 
-	mu       sync.Mutex // guards node and reported
+	mu       sync.Mutex // guards node, latest and reported
 	node     *core.Node
 	reported bool // a violation is outstanding; suppress duplicates
+	// latest is the application's most recent local vector (set once
+	// EnableElision succeeds). Between exact checks the node's own vector is
+	// stale by design, so data pulls, rechecks and rejoins materialize latest
+	// into the node first.
+	latest []float64
+	// elided counts UpdateElided calls whose exact check the budget skipped.
+	elided int64
 	resolved chan struct{}
 	ready    chan struct{}
 	readyOne sync.Once
@@ -210,6 +219,7 @@ func (c *NodeClient) handleMsg(conn net.Conn, m core.Message) error {
 	switch msg := m.(type) {
 	case *core.DataRequest:
 		c.mu.Lock()
+		c.materializeLocked()
 		x := c.node.LocalVector()
 		c.mu.Unlock()
 		// A failed reply closes the connection; the frame read loop will
@@ -263,6 +273,7 @@ func (c *NodeClient) reconnect(cause error) error {
 		conn, err := c.opts.Dial("tcp", c.addr, c.opts.DialTimeout)
 		if err == nil {
 			c.mu.Lock()
+			c.materializeLocked()
 			x := c.node.LocalVector()
 			// Any outstanding report died with the old connection; the
 			// rejoin full sync re-evaluates the constraints from scratch.
@@ -320,6 +331,7 @@ func (c *NodeClient) recheck() {
 		c.mu.Unlock()
 		return
 	}
+	c.materializeLocked()
 	v := c.node.Check()
 	if v != nil {
 		c.reported = true
@@ -383,19 +395,76 @@ func (c *NodeClient) Err() error {
 	return c.err
 }
 
+// materializeLocked installs the latest application vector into the node
+// (elided mode only; no-op otherwise). The resulting SetData resets the
+// elision budget, so the next elided update runs an exact check. Callers
+// must hold c.mu.
+func (c *NodeClient) materializeLocked() {
+	if c.latest != nil {
+		c.node.SetData(c.latest)
+	}
+}
+
+// EnableElision turns on safe-zone check elision for this client: UpdateElided
+// then skips the exact constraint check (and its traffic) while the node's
+// distance-to-boundary budget proves the vector still inside the safe zone.
+// Reports false — leaving the client on the per-update path — when the
+// function carries no curvature bound.
+func (c *NodeClient) EnableElision() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.node.EnableElision() {
+		return false
+	}
+	if c.latest == nil {
+		c.latest = append([]float64(nil), c.node.LocalVector()...)
+	}
+	return true
+}
+
 // Update installs a new local vector, checks the local constraints, and —
 // if they are violated — reports to the coordinator and blocks until the
 // violation is resolved (new slack or safe zone installed). A connection
 // loss during the wait is absorbed: the rejoin full sync resolves the
 // violation like any other sync.
 func (c *NodeClient) Update(x []float64) error {
+	return c.update(x, false)
+}
+
+// UpdateElided is Update on the elided fast path: it spends the vector's
+// exact movement from the elision budget and runs the full check (with
+// identical protocol behavior to Update) only when the budget no longer
+// proves the move safe. Requires a successful EnableElision.
+func (c *NodeClient) UpdateElided(x []float64) error {
+	return c.update(x, true)
+}
+
+// update is the shared implementation behind Update and UpdateElided.
+func (c *NodeClient) update(x []float64, elide bool) error {
 	c.mu.Lock()
 	// Drain a stale resolution signal so we wait for a fresh one.
 	select {
 	case <-c.resolved:
 	default:
 	}
-	v := c.node.UpdateData(x)
+	var v *core.Violation
+	switch {
+	case c.latest != nil:
+		norm := math.Sqrt(linalg.SqDist(x, c.latest))
+		copy(c.latest, x)
+		if elide && !c.node.SpendBudget(norm) {
+			// Proven inside the safe zone: skip the exact check entirely.
+			c.elided++
+			c.mu.Unlock()
+			return c.Err()
+		}
+		v = c.node.UpdateDataRefresh(x)
+	case elide:
+		c.mu.Unlock()
+		return fmt.Errorf("transport: node %d: UpdateElided without EnableElision", c.ID)
+	default:
+		v = c.node.UpdateData(x)
+	}
 	send := v != nil && !c.reported
 	if send {
 		c.reported = true
@@ -430,6 +499,14 @@ func (c *NodeClient) Update(x []float64) error {
 			return nil
 		}
 	}
+}
+
+// ElidedUpdates returns how many UpdateElided calls skipped their exact
+// check because the elision budget proved the move safe.
+func (c *NodeClient) ElidedUpdates() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elided
 }
 
 // CurrentValue returns the node's current estimate f(x0).
