@@ -7,12 +7,24 @@
 // does not, and 2 on a load or usage error. Findings are suppressed per line
 // with `//automon:allow <analyzer> <reason>`; see DESIGN.md for the analyzer
 // list and the invariant each one encodes.
+//
+// Modes:
+//
+//	-list        print the analyzers and their invariants, then exit
+//	-sarif       emit findings as a SARIF 2.1.0 log on stdout (for CI
+//	             annotation and artifact upload) instead of plain lines
+//	-diff REF    analyze the whole module (the call graphs span packages)
+//	             but report only findings in packages with files changed
+//	             versus the git ref, e.g. -diff origin/main on a PR
+//	-fix         insert //automon:allow TODO scaffolds above surviving
+//	             findings and canonicalize directive stacks, in place
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -21,8 +33,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and their invariants, then exit")
+	sarif := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
+	diffRef := flag.String("diff", "", "report only findings in packages changed versus this git ref")
+	fix := flag.Bool("fix", false, "write //automon:allow scaffolds for surviving findings and sort directive stacks")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: automon-lint [-list] [./...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: automon-lint [-list] [-sarif] [-diff ref] [-fix] [./...]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -61,13 +76,110 @@ func main() {
 		fmt.Fprintf(os.Stderr, "automon-lint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *diffRef != "" {
+		diags, err = filterToChanged(root, *diffRef, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "automon-lint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *fix {
+		if err := applyFixes(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "automon-lint: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *sarif {
+		out, err := analysis.SARIF(diags, analyzers, root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "automon-lint: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "automon-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// filterToChanged keeps only the diagnostics whose file lives in a package
+// directory with Go files changed versus ref. The analysis itself already
+// ran module-wide — interprocedural summaries need the whole graph — this
+// only narrows what is reported, so a PR is annotated with its own packages'
+// findings and pre-existing ones elsewhere don't fail it.
+func filterToChanged(root, ref string, diags []analysis.Diagnostic) ([]analysis.Diagnostic, error) {
+	cmd := exec.Command("git", "-C", root, "diff", "--name-only", ref, "--", "*.go")
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff %s: %v: %s", ref, err, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff %s: %v", ref, err)
+	}
+	changedDirs := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line == "" {
+			continue
+		}
+		changedDirs[filepath.ToSlash(filepath.Dir(line))] = true
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			kept = append(kept, d)
+			continue
+		}
+		if changedDirs[filepath.ToSlash(filepath.Dir(rel))] {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// applyFixes groups the surviving findings per file and rewrites each file
+// with analysis.FixSource. Scaffolded waivers carry a TODO reason the author
+// must replace; a second -fix run is a no-op because the scaffolds suppress
+// the findings they cover.
+func applyFixes(diags []analysis.Diagnostic) error {
+	perFile := make(map[string][]analysis.Diagnostic)
+	var files []string
+	for _, d := range diags {
+		if _, ok := perFile[d.Pos.Filename]; !ok {
+			files = append(files, d.Pos.Filename)
+		}
+		perFile[d.Pos.Filename] = append(perFile[d.Pos.Filename], d)
+	}
+	fixed := 0
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		out := analysis.FixSource(src, perFile[file])
+		if string(out) == string(src) {
+			continue
+		}
+		if err := os.WriteFile(file, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("fixed %s (%d finding(s) scaffolded)\n", file, len(perFile[file]))
+		fixed++
+	}
+	if fixed == 0 {
+		fmt.Println("nothing to fix")
+	}
+	return nil
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod,

@@ -106,8 +106,10 @@ type allow struct {
 }
 
 // allowIndex maps filename → line → directives that cover that line. A
-// directive covers its own line (trailing comment) and the next line
-// (own-line comment above the flagged statement).
+// directive covers its own line (trailing comment) and the next code line:
+// for an own-line directive, consecutive directive-only lines chain, so a
+// stack of //automon:allow lines (one per analyzer, as -fix writes them)
+// all cover the first statement after the stack.
 type allowIndex map[string]map[int][]*allow
 
 func (ai allowIndex) covers(pos token.Position, analyzer string) bool {
@@ -133,6 +135,12 @@ func collectAllows(mod *Module, known map[string]bool) (allowIndex, []Diagnostic
 	var bad []Diagnostic
 	for _, pkg := range mod.Pkgs {
 		for _, f := range pkg.Files {
+			codeLines := nonCommentLines(mod.Fset, f)
+			// First pass: parse every well-formed directive of the file and
+			// note which lines are directive-only (no code on them), so
+			// stacked directives can chain over each other.
+			var allows []*allow
+			directiveOnly := make(map[int]bool)
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					if !strings.HasPrefix(c.Text, strings.TrimSpace(allowPrefix)) {
@@ -156,21 +164,57 @@ func collectAllows(mod *Module, known map[string]bool) (allowIndex, []Diagnostic
 							Message: fmt.Sprintf("//automon:allow %s needs a reason: suppressions must say why the invariant is waived", name)})
 						continue
 					}
-					a := &allow{pos: pos, analyzer: name, reason: reason}
-					file := idx[pos.Filename]
-					if file == nil {
-						file = make(map[int][]*allow)
-						idx[pos.Filename] = file
+					allows = append(allows, &allow{pos: pos, analyzer: name, reason: reason})
+					if !codeLines[pos.Line] {
+						directiveOnly[pos.Line] = true
 					}
-					// Cover the directive's own line (trailing form) and the
-					// next line (comment-above form).
-					file[pos.Line] = append(file[pos.Line], a)
-					file[pos.Line+1] = append(file[pos.Line+1], a)
 				}
+			}
+			if len(allows) == 0 {
+				continue
+			}
+			// Second pass: assign coverage. Every directive covers its own
+			// line (trailing form). An own-line directive additionally covers
+			// the first following line that is not itself a directive-only
+			// line, so a stack of waivers all reach the flagged statement.
+			file := idx[mod.Fset.Position(f.Pos()).Filename]
+			if file == nil {
+				file = make(map[int][]*allow)
+				idx[mod.Fset.Position(f.Pos()).Filename] = file
+			}
+			for _, a := range allows {
+				file[a.pos.Line] = append(file[a.pos.Line], a)
+				next := a.pos.Line + 1
+				if directiveOnly[a.pos.Line] {
+					for directiveOnly[next] {
+						next++
+					}
+				}
+				file[next] = append(file[next], a)
 			}
 		}
 	}
 	return idx, bad
+}
+
+// nonCommentLines marks every line of the file that carries a non-comment
+// token, so an //automon:allow directive can be classified as trailing
+// (sharing a line with code) or own-line (free to chain over a stack of
+// neighbouring directives).
+func nonCommentLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
 }
 
 // Lint runs the analyzers over the module, applies suppression directives,

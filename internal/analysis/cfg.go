@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go builds an explicit per-function control-flow graph over the AST.
+// The graph is deliberately coarse — basic blocks carry statements, edges
+// carry no conditions — because the analyzers built on it (golifecycle) only
+// ask reachability questions: "does this function body have a path from
+// entry to a normal exit?". A goroutine whose body cannot reach Exit is a
+// fire-and-forget loop that leaks under MultiCoordinator group churn.
+//
+// Modeling choices, chosen to be sound for the termination question:
+//
+//   - `for { ... }` with no condition and no break has no edge out of the
+//     loop; code after it is unreachable.
+//   - `for range ch` has an exit edge: ranging over a channel terminates
+//     when the channel is closed, which is exactly the quit-channel idiom.
+//   - select with at least one case is assumed to eventually take a case;
+//     `select {}` (block forever) has no successor.
+//   - panic, runtime.Goexit and os.Exit/log.Fatal* edges go to Exit: the
+//     goroutine terminates, even if not gracefully.
+//   - goto is treated optimistically as an exit edge (the module does not
+//     use goto; the conservative direction here would flag nothing new).
+
+// cfgBlock is one basic block: a run of statements with successor edges.
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// terminates reports whether the function has at least one path from entry
+// to a normal (or panicking) exit.
+func (g *funcCFG) terminates() bool {
+	seen := make(map[*cfgBlock]bool)
+	stack := []*cfgBlock{g.entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if b == g.exit {
+			return true
+		}
+		stack = append(stack, b.succs...)
+	}
+	return false
+}
+
+// cfgBuilder holds the construction state. cur is the block under
+// construction; nil means the current position is unreachable (after a
+// return or break), in which case a fresh detached block is opened so
+// syntactically-following statements still build without edges into them.
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+	// breakables is the stack of enclosing break targets (loops, switches,
+	// selects); loops additionally carry a continue target.
+	breakables []breakTarget
+	// pendingLabel is the label of an immediately enclosing LabeledStmt,
+	// consumed by the next loop/switch/select.
+	pendingLabel string
+	// isTerminalCall classifies a call expression as non-returning
+	// (panic, os.Exit, log.Fatal, runtime.Goexit).
+	isTerminalCall func(*ast.CallExpr) bool
+}
+
+type breakTarget struct {
+	label string
+	brk   *cfgBlock
+	cont  *cfgBlock // nil for switch/select
+}
+
+// buildCFG constructs the CFG of one function body. terminal classifies
+// calls that never return; pass nil for a purely syntactic build.
+func buildCFG(body *ast.BlockStmt, terminal func(*ast.CallExpr) bool) *funcCFG {
+	if terminal == nil {
+		terminal = func(*ast.CallExpr) bool { return false }
+	}
+	b := &cfgBuilder{g: &funcCFG{}, isTerminalCall: terminal}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.exit)
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// reach ensures there is a current block to build into, opening a detached
+// (unreachable) one after a return/break so construction can continue.
+func (b *cfgBuilder) reach() *cfgBlock {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findBreak locates the break target for an optional label.
+func (b *cfgBuilder) findBreak(label string) *cfgBlock {
+	for i := len(b.breakables) - 1; i >= 0; i-- {
+		t := b.breakables[i]
+		if label == "" || t.label == label {
+			return t.brk
+		}
+	}
+	return nil
+}
+
+// findContinue locates the continue target (innermost loop, or labeled loop).
+func (b *cfgBuilder) findContinue(label string) *cfgBlock {
+	for i := len(b.breakables) - 1; i >= 0; i-- {
+		t := b.breakables[i]
+		if t.cont == nil {
+			continue // switch/select: continue passes through
+		}
+		if label == "" || t.label == label {
+			return t.cont
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		cur := b.reach()
+		cur.stmts = append(cur.stmts, s)
+		b.edge(cur, b.g.exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		cur := b.reach()
+		cur.stmts = append(cur.stmts, s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(label); t != nil {
+				b.edge(cur, t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findContinue(label); t != nil {
+				b.edge(cur, t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			// Optimistic: treat as able to reach an exit.
+			b.edge(cur, b.g.exit)
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch construction; the edge to
+			// the next case body is added there.
+		}
+
+	case *ast.IfStmt:
+		cur := b.reach()
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(cur, after) // condition false
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		cur := b.reach()
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(cur, head)
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after) // condition false exits the loop
+		}
+		b.breakables = append(b.breakables, breakTarget{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			if s.Post != nil {
+				b.cur.stmts = append(b.cur.stmts, s.Post)
+			}
+			b.edge(b.cur, head)
+		}
+		b.breakables = b.breakables[:len(b.breakables)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		cur := b.reach()
+		head := b.newBlock()
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(cur, head)
+		b.edge(head, body)
+		// Ranges terminate: collections are finite, and ranging a channel
+		// ends when the channel closes (the quit-channel idiom).
+		b.edge(head, after)
+		b.breakables = append(b.breakables, breakTarget{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.breakables = b.breakables[:len(b.breakables)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		cur := b.reach()
+		var body *ast.BlockStmt
+		hasInit := false
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			body = sw.Body
+			hasInit = sw.Init != nil
+			if hasInit {
+				cur.stmts = append(cur.stmts, sw.Init)
+			}
+		case *ast.TypeSwitchStmt:
+			body = sw.Body
+			if sw.Init != nil {
+				cur.stmts = append(cur.stmts, sw.Init)
+			}
+		}
+		after := b.newBlock()
+		b.breakables = append(b.breakables, breakTarget{label: label, brk: after})
+		hasDefault := false
+		// Build case bodies; a fallthrough as the final statement falls
+		// into the next case's block.
+		var caseBlocks []*cfgBlock
+		var caseClauses []*ast.CaseClause
+		for _, c := range body.List {
+			clause, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if clause.List == nil {
+				hasDefault = true
+			}
+			caseBlocks = append(caseBlocks, b.newBlock())
+			caseClauses = append(caseClauses, clause)
+		}
+		for i, clause := range caseClauses {
+			b.edge(cur, caseBlocks[i])
+			b.cur = caseBlocks[i]
+			b.stmtList(clause.Body)
+			if fallsThrough(clause.Body) && i+1 < len(caseBlocks) {
+				if b.cur != nil {
+					b.edge(b.cur, caseBlocks[i+1])
+				}
+			} else if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		if !hasDefault {
+			b.edge(cur, after) // no case matches
+		}
+		b.breakables = b.breakables[:len(b.breakables)-1]
+		b.cur = after
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		cur := b.reach()
+		after := b.newBlock()
+		b.breakables = append(b.breakables, breakTarget{label: label, brk: after})
+		for _, c := range s.Body.List {
+			clause, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseB := b.newBlock()
+			b.edge(cur, caseB)
+			b.cur = caseB
+			if clause.Comm != nil {
+				caseB.stmts = append(caseB.stmts, clause.Comm)
+			}
+			b.stmtList(clause.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		// select{} blocks forever: no cases means no edge into after.
+		b.breakables = b.breakables[:len(b.breakables)-1]
+		b.cur = after
+
+	case *ast.ExprStmt:
+		cur := b.reach()
+		cur.stmts = append(cur.stmts, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.isTerminalCall(call) {
+			b.edge(cur, b.g.exit)
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, declarations, go/defer/send/incdec: straight-line.
+		cur := b.reach()
+		cur.stmts = append(cur.stmts, s)
+	}
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough statement.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+)
+
+// fix.go implements automon-lint -fix: the mechanical remediations that need
+// no judgement. Two transformations, both idempotent:
+//
+//  1. For every surviving finding, insert an //automon:allow scaffold above
+//     the flagged line, indentation-matched, carrying a TODO reason the
+//     author must replace (a TODO is still a reason, so the tree lints clean
+//     while the waiver is visibly unreviewed — and obviously greppable).
+//  2. Sort every run of consecutive own-line //automon:allow directives by
+//     analyzer name, so stacked waivers read in one canonical order and
+//     diffs don't churn on insertion order.
+//
+// Directive-hygiene findings (malformed //automon:allow forms) are not
+// scaffoldable — waiving a broken waiver is nonsense — and are skipped.
+
+// fixTODOReason is the placeholder reason -fix writes; it satisfies the
+// mandatory-reason rule while flagging the waiver as unreviewed.
+const fixTODOReason = "TODO(automon-lint): justify this waiver"
+
+// FixSource applies the mechanical remediations to one file's contents.
+// diags are the surviving (unsuppressed) findings whose positions lie in
+// this file; line numbers refer to src as given. The result is the fixed
+// file; applying FixSource to its own output with the (now suppressed)
+// findings removed is the identity.
+func FixSource(src []byte, diags []Diagnostic) []byte {
+	lines := splitLines(src)
+
+	// Collect the analyzers to scaffold per flagged line, deduplicated.
+	perLine := make(map[int]map[string]bool)
+	for _, d := range diags {
+		if d.Analyzer == directiveRuleID {
+			continue
+		}
+		if d.Pos.Line < 1 || d.Pos.Line > len(lines) {
+			continue
+		}
+		set := perLine[d.Pos.Line]
+		if set == nil {
+			set = make(map[string]bool)
+			perLine[d.Pos.Line] = set
+		}
+		set[d.Analyzer] = true
+	}
+
+	// Insert scaffolds bottom-up so earlier line numbers stay valid.
+	var flagged []int
+	for line := range perLine {
+		flagged = append(flagged, line)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(flagged)))
+	for _, line := range flagged {
+		var names []string
+		for name := range perLine[line] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		indent := leadingWhitespace(lines[line-1])
+		scaffolds := make([]string, 0, len(names))
+		for _, name := range names {
+			scaffolds = append(scaffolds, indent+allowPrefix+name+" "+fixTODOReason)
+		}
+		lines = append(lines[:line-1:line-1], append(scaffolds, lines[line-1:]...)...)
+	}
+
+	sortDirectiveRuns(lines)
+	return joinLines(lines)
+}
+
+// sortDirectiveRuns orders each run of consecutive directive-only lines by
+// analyzer name (then full text, for stable ties), in place.
+func sortDirectiveRuns(lines []string) {
+	isDirectiveLine := func(s string) bool {
+		return strings.HasPrefix(strings.TrimSpace(s), strings.TrimSpace(allowPrefix))
+	}
+	for i := 0; i < len(lines); {
+		if !isDirectiveLine(lines[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(lines) && isDirectiveLine(lines[j]) {
+			j++
+		}
+		run := lines[i:j]
+		sort.SliceStable(run, func(a, b int) bool {
+			na := directiveAnalyzer(run[a])
+			nb := directiveAnalyzer(run[b])
+			if na != nb {
+				return na < nb
+			}
+			return run[a] < run[b]
+		})
+		i = j
+	}
+}
+
+// directiveAnalyzer extracts the analyzer name from a directive line.
+func directiveAnalyzer(line string) string {
+	rest := strings.TrimPrefix(strings.TrimSpace(line), strings.TrimSpace(allowPrefix))
+	rest = strings.TrimSpace(rest)
+	name, _, _ := strings.Cut(rest, " ")
+	return name
+}
+
+func leadingWhitespace(s string) string {
+	for i, r := range s {
+		if r != ' ' && r != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// splitLines splits keeping no terminators; joinLines restores them with a
+// trailing newline, the gofmt canonical form.
+func splitLines(src []byte) []string {
+	s := strings.TrimSuffix(string(src), "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func joinLines(lines []string) []byte {
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}

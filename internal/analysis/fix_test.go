@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixSourceGolden pins -fix end to end on the fixgolden fixture: the
+// surviving findings get TODO-reason scaffolds (sorted per line) and the
+// out-of-order directive stack is canonicalized, matching the golden file
+// byte for byte. The golden is not named *.go so the fixture loader ignores
+// it.
+func TestFixSourceGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "fixgolden")
+	suite := []*Analyzer{Erreig, Nofloateq}
+	mod, err := LoadFixture(dir, "fixture/fixgolden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Lint(mod, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixgolden fixture produced no findings; the golden check is vacuous")
+	}
+
+	src, err := os.ReadFile(filepath.Join(dir, "input.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FixSource(src, diags)
+	golden, err := os.ReadFile(filepath.Join(dir, "input.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("FixSource output differs from input.go.golden:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+
+	// Idempotency: the fixed file lints clean (the scaffolds' TODO reasons
+	// satisfy the mandatory-reason rule and the stacked directives chain to
+	// the flagged lines), so re-fixing it is the identity.
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "input.go"), got, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixedMod, err := LoadFixture(tmp, "fixture/fixgolden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors, err := Lint(fixedMod, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range survivors {
+		t.Errorf("finding survives its own scaffold: %s", d)
+	}
+	if again := FixSource(got, survivors); !bytes.Equal(again, got) {
+		t.Errorf("FixSource is not idempotent:\n--- second pass ---\n%s\n--- first pass ---\n%s", again, got)
+	}
+}
+
+// TestFixSourceSkipsDirectiveFindings keeps -fix from scaffolding a waiver
+// for a malformed waiver: directive-hygiene findings are not fixable.
+func TestFixSourceSkipsDirectiveFindings(t *testing.T) {
+	src := []byte("package p\n\nfunc f() {\n}\n")
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: "p.go", Line: 3, Column: 1},
+		Analyzer: directiveRuleID,
+		Message:  "malformed //automon:allow directive: missing analyzer name",
+	}}
+	if got := FixSource(src, diags); !bytes.Equal(got, src) {
+		t.Errorf("FixSource altered the file for a directive-hygiene finding:\n%s", got)
+	}
+}

@@ -65,9 +65,16 @@ func runFixture(t *testing.T, a *Analyzer, fixture, pkgPath string) {
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", fixture, err)
 	}
+	checkFixture(t, mod, a)
+}
+
+// checkFixture runs one analyzer over an already-loaded fixture module
+// (single-package or tree) and checks diagnostics against the wants.
+func checkFixture(t *testing.T, mod *Module, a *Analyzer) {
+	t.Helper()
 	diags, err := Lint(mod, []*Analyzer{a})
 	if err != nil {
-		t.Fatalf("lint fixture %s: %v", fixture, err)
+		t.Fatalf("lint fixture: %v", err)
 	}
 	wants := collectWants(t, mod)
 	for _, d := range diags {

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Floatflow upgrades the determinism contract from syntactic to
+// interprocedural: PR 4's determinism analyzer bans nondeterminism *inside*
+// the contract packages (core, optimize, experiments); floatflow follows
+// the call graph *out* of them and reports every nondeterminism source —
+// order-sensitive map iteration, selects racing real channels, global or OS
+// rand — that protocol code can reach in the rest of the module. The
+// float64 protocol outputs (thresholds, zone parameters, figure CSVs) must
+// be bit-identical run to run; a racy select three calls below fullSync
+// breaks that exactly as surely as one inside it.
+//
+// A second, module-wide rule guards the sinks directly: an argument to a
+// metric update (obs Inc/Add/Set/Observe) or a csv.Writer write whose value
+// is computed by a function with a nondeterministic call closure is
+// reported at the sink, wherever the sink lives.
+//
+// Interface and function-value calls stay opaque here too: NodeComm hides
+// the transport's event races from the protocol by design, and the
+// scheduler-order nondeterminism *of delivery* is the monitoring problem
+// itself, not a float-taint bug. What floatflow catches is computation the
+// protocol invokes that silently depends on iteration or scheduling order.
+var Floatflow = &Analyzer{
+	Name: "floatflow",
+	Doc:  "nondeterminism sources reachable from the deterministic packages, and nondeterministic values flowing into metric/CSV sinks, taint protocol output",
+	Run:  runFloatflow,
+}
+
+// floatflowTaint is the effect mask that counts as a nondeterminism source.
+const floatflowTaint = effRand | effNondetOrder
+
+func runFloatflow(p *Pass) error {
+	cg := buildCallGraph(p)
+
+	// Rule 1: reachability. Roots are every function of the deterministic
+	// packages; any taint site in reached code outside them is a finding.
+	// Sites inside the contract packages belong to the determinism analyzer.
+	var roots []*types.Func
+	for _, fn := range cg.order {
+		if isDeterministicPkg(cg.funcs[fn].pkg.Path) {
+			roots = append(roots, fn)
+		}
+	}
+	reach := reachableFrom(p, cg, roots)
+	for _, fn := range reach.order {
+		if isDeterministicPkg(cg.funcs[fn].pkg.Path) {
+			continue
+		}
+		for _, site := range cg.summaries[fn].sites {
+			if site.eff&floatflowTaint == 0 {
+				continue
+			}
+			p.Reportf(site.pos, "%s is reachable from the deterministic packages (%s); its outcome can leak into protocol output",
+				site.what, reach.chain(cg, fn))
+		}
+	}
+
+	// Rule 2: sinks. totalEffects gives each function's full closure mask;
+	// a call computing a sink argument with taint in its closure is a
+	// finding at the sink call.
+	total := cg.totalEffects()
+	for _, fn := range cg.order {
+		body := cg.funcs[fn]
+		info := body.pkg.Info
+		ast.Inspect(body.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sink := sinkName(info, call)
+			if sink == "" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					inner, ok := a.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					target := callee(info, inner)
+					if target == nil {
+						return true
+					}
+					if eff, what := classifyExternal(target); eff&floatflowTaint != 0 {
+						p.Reportf(inner.Pos(), "%s flows into %s; the recorded value is nondeterministic", what, sink)
+						return true
+					}
+					if total[target]&floatflowTaint != 0 {
+						p.Reportf(inner.Pos(), "%s has nondeterminism in its call closure and flows into %s",
+							cg.label(target), sink)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkName classifies a call as a protocol-output sink: module obs metric
+// updates and encoding/csv writes. Returns "" for everything else.
+func sinkName(info *types.Info, call *ast.CallExpr) string {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	switch {
+	case fn.Pkg().Path() == "encoding/csv":
+		if fn.Name() == "Write" || fn.Name() == "WriteAll" {
+			return "csv." + fn.Name()
+		}
+	case strings.HasSuffix(fn.Pkg().Path(), "internal/obs"):
+		switch fn.Name() {
+		case "Inc", "Add", "Set", "Observe":
+			return "metric " + typeLabel(sig.Recv().Type()) + "." + fn.Name()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Golifecycle requires every spawned goroutine to have a reachable
+// termination path: a return reached through a conditional, a quit/context
+// channel case, a range over a closable channel, or a bounded loop. A `go`
+// statement whose body can never reach its exit — the bare `for { work() }`
+// shape — leaks one goroutine per spawn, which under MultiCoordinator group
+// churn (register, depart, re-register) accumulates until the process dies.
+//
+// The check is per-function over the explicit CFG (cfg.go): ranging over a
+// channel and select cases count as exits the way the quit-channel idiom
+// intends, and panic/os.Exit count as (ungraceful) termination. Bodies
+// behind function values or interface calls are not resolvable and are
+// skipped; the analyzer checks function literals and statically named
+// module functions, which covers every spawn shape the module uses.
+var Golifecycle = &Analyzer{
+	Name: "golifecycle",
+	Doc:  "every go statement (and time.AfterFunc callback) must have a reachable termination path tied to a quit signal or bounded loop",
+	Run:  runGolifecycle,
+}
+
+func runGolifecycle(p *Pass) error {
+	funcs := indexFuncs(p)
+	for _, pkg := range p.Pkgs {
+		info := pkg.Info
+		terminal := terminalCall(info)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					body, where := spawnedBody(info, funcs, n.Call)
+					if body == nil {
+						return true
+					}
+					if !buildCFG(body, terminal).terminates() {
+						p.Reportf(n.Pos(), "goroutine %s has no reachable termination path; tie its loop to a context/quit channel or bound it", where)
+					}
+				case *ast.CallExpr:
+					fn := callee(info, n)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "AfterFunc" {
+						return true
+					}
+					if len(n.Args) != 2 {
+						return true
+					}
+					body, where := callbackBody(info, funcs, n.Args[1])
+					if body == nil {
+						return true
+					}
+					if !buildCFG(body, terminal).terminates() {
+						p.Reportf(n.Pos(), "time.AfterFunc callback %s has no reachable termination path", where)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// spawnedBody resolves the body a go statement runs: a function literal or
+// a statically named module function. Function values and interface methods
+// return nil.
+func spawnedBody(info *types.Info, funcs map[*types.Func]funcBody, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, "(func literal)"
+	}
+	if fn := callee(info, call); fn != nil {
+		if body, ok := funcs[fn]; ok {
+			return body.decl.Body, declName(body.decl)
+		}
+	}
+	return nil, ""
+}
+
+// callbackBody resolves a function-typed argument (time.AfterFunc's second
+// parameter) the same way.
+func callbackBody(info *types.Info, funcs map[*types.Func]funcBody, arg ast.Expr) (*ast.BlockStmt, string) {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return a.Body, "(func literal)"
+	case *ast.Ident:
+		if fn, ok := info.Uses[a].(*types.Func); ok {
+			if body, ok := funcs[fn]; ok {
+				return body.decl.Body, declName(body.decl)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[a.Sel].(*types.Func); ok {
+			if body, ok := funcs[fn]; ok {
+				return body.decl.Body, declName(body.decl)
+			}
+		}
+	}
+	return nil, ""
+}

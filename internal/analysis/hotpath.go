@@ -54,15 +54,7 @@ func declName(decl *ast.FuncDecl) string {
 // hasMarker reports whether the declaration's doc comment carries the
 // //automon:hotpath directive.
 func hasMarker(decl *ast.FuncDecl) bool {
-	if decl.Doc == nil {
-		return false
-	}
-	for _, c := range decl.Doc.List {
-		if c.Text == hotpathMarker {
-			return true
-		}
-	}
-	return false
+	return hasDirective(decl, hotpathMarker)
 }
 
 // indexFuncs maps every module function object to its body.

@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder builds the global lock-acquisition-order graph across core,
+// transport and obs and reports every edge that participates in a cycle: an
+// AB/BA inversion between two goroutines is a deadlock waiting for load, and
+// the MultiCoordinator accept loop plus the per-connection writers are
+// exactly the kind of code where one grows unnoticed.
+//
+// Locks are identified by their declaration — the *types.Var of the mutex
+// field or variable — so every instance of transport.Coordinator.connsMu is
+// one node. That conflates instances (standard for static lock-order
+// analysis) and means an ordering violation between two *different*
+// instances of the same lock class is reported as a self-cycle; such
+// hierarchies must pick an instance order and waive with the reason.
+//
+// Held sets propagate through module-internal calls: if f locks A and calls
+// g, every lock g may transitively acquire is ordered after A. Goroutine
+// bodies and deferred calls start with an empty held set (they do not run
+// under the caller's locks), but their acquisitions still count toward what
+// a callee "may acquire". Function literals invoked later inherit nothing;
+// scanned standalone they still contribute their internal ordering.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "the lock-acquisition-order graph across core, transport and obs must be acyclic; held sets propagate through calls",
+	Run:  runLockorder,
+}
+
+// lockScopeSuffixes selects the packages whose lock acquisitions are graphed.
+var lockScopeSuffixes = []string{
+	"internal/core",
+	"internal/transport",
+	"internal/obs",
+}
+
+func isLockScopePkg(path string) bool {
+	for _, s := range lockScopeSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockRef is one resolved lock identity: the declaring object plus a stable
+// human label like "transport.Coordinator.connsMu".
+type lockRef struct {
+	obj   types.Object
+	label string
+}
+
+// lockEdge records "to acquired while from was held" at pos inside fn.
+type lockEdge struct {
+	from, to lockRef
+	pos      token.Pos
+	fn       string // enclosing function label
+	via      string // callee label when propagated through a call, else ""
+}
+
+// lockWalk accumulates the per-function scan results.
+type lockWalk struct {
+	info    *types.Info
+	fnLabel string
+	inScope bool
+	held    []lockRef
+	edges   *[]lockEdge
+	// acquires is the function's own acquisition set, feeding mayAcquire.
+	acquires map[types.Object]lockRef
+	// pending are module calls made with locks held, resolved after the
+	// mayAcquire fixpoint.
+	pending *[]pendingLockCall
+	funcs   map[*types.Func]funcBody
+}
+
+type pendingLockCall struct {
+	caller  *types.Func
+	callee  *types.Func
+	held    []lockRef
+	pos     token.Pos
+	fnLabel string
+	inScope bool
+}
+
+func runLockorder(p *Pass) error {
+	cg := buildCallGraph(p)
+
+	var edges []lockEdge
+	var pending []pendingLockCall
+	acquires := make(map[*types.Func]map[types.Object]lockRef)
+
+	for _, fn := range cg.order {
+		body := cg.funcs[fn]
+		w := &lockWalk{
+			info:     body.pkg.Info,
+			fnLabel:  cg.label(fn),
+			inScope:  isLockScopePkg(body.pkg.Path),
+			edges:    &edges,
+			acquires: make(map[types.Object]lockRef),
+			pending:  &pending,
+			funcs:    cg.funcs,
+		}
+		w.walkStmts(fn, body.decl.Body.List)
+		acquires[fn] = w.acquires
+	}
+
+	// mayAcquire fixpoint: fold callee acquisition sets into callers until
+	// stable. Cycles in the call graph converge because sets only grow.
+	mayAcquire := make(map[*types.Func]map[types.Object]lockRef, len(cg.order))
+	for _, fn := range cg.order {
+		set := make(map[types.Object]lockRef, len(acquires[fn]))
+		for o, r := range acquires[fn] {
+			set[o] = r
+		}
+		mayAcquire[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.order {
+			set := mayAcquire[fn]
+			for _, c := range cg.summaries[fn].calls {
+				for o, r := range mayAcquire[c.fn] {
+					if _, ok := set[o]; !ok {
+						set[o] = r
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Resolve calls made under held locks into propagated edges.
+	for _, pc := range pending {
+		if !pc.inScope {
+			continue
+		}
+		targets := sortedLockRefs(mayAcquire[pc.callee])
+		for _, to := range targets {
+			heldSame := false
+			for _, h := range pc.held {
+				if h.obj == to.obj {
+					heldSame = true
+				}
+			}
+			if heldSame {
+				if !p.Suppressed(pc.pos) {
+					p.Reportf(pc.pos, "call into %s may reacquire %s already held in %s (self-deadlock)",
+						cg.label(pc.callee), to.label, pc.fnLabel)
+				}
+				continue
+			}
+			for _, h := range pc.held {
+				edges = append(edges, lockEdge{from: h, to: to, pos: pc.pos,
+					fn: pc.fnLabel, via: cg.label(pc.callee)})
+			}
+		}
+	}
+
+	reportLockCycles(p, edges)
+	return nil
+}
+
+// walkStmts scans statements in source order, tracking the held-lock set.
+func (w *lockWalk) walkStmts(fn *types.Func, stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkNode(fn, s)
+	}
+}
+
+func (w *lockWalk) walkNode(fn *types.Func, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs with its own (empty) held set; its
+			// acquisitions still count toward this function's mayAcquire.
+			saved := w.held
+			w.held = nil
+			w.walkStmts(fn, c.Body.List)
+			w.held = saved
+			return false
+		case *ast.GoStmt:
+			// The spawned goroutine does not hold the caller's locks.
+			saved := w.held
+			w.held = nil
+			w.walkNode(fn, c.Call)
+			w.held = saved
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end; any
+			// other deferred call runs at exit with an unknowable held set.
+			if tgt := calleeOfLockCall(w.info, c.Call); tgt == lockOpUnlock {
+				return false
+			}
+			saved := w.held
+			w.held = nil
+			w.walkNode(fn, c.Call)
+			w.held = saved
+			return false
+		case *ast.CallExpr:
+			w.call(fn, c)
+			return true
+		}
+		return true
+	})
+}
+
+// lockOp classifies a call as lock, unlock or neither.
+type lockOp int
+
+const (
+	lockOpNone lockOp = iota
+	lockOpLock
+	lockOpUnlock
+)
+
+// calleeOfLockCall classifies a call against the sync primitives.
+func calleeOfLockCall(info *types.Info, call *ast.CallExpr) lockOp {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOpNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return lockOpLock
+	case "Unlock", "RUnlock":
+		return lockOpUnlock
+	}
+	return lockOpNone
+}
+
+func (w *lockWalk) call(fn *types.Func, call *ast.CallExpr) {
+	switch calleeOfLockCall(w.info, call) {
+	case lockOpLock:
+		ref, ok := resolveLock(w.info, w.fnLabel, call)
+		if !ok {
+			return
+		}
+		if w.inScope {
+			for _, h := range w.held {
+				*w.edges = append(*w.edges, lockEdge{from: h, to: ref, pos: call.Pos(), fn: w.fnLabel})
+			}
+		}
+		w.held = append(w.held, ref)
+		w.acquires[ref.obj] = ref
+	case lockOpUnlock:
+		ref, ok := resolveLock(w.info, w.fnLabel, call)
+		if !ok {
+			return
+		}
+		for i := len(w.held) - 1; i >= 0; i-- {
+			if w.held[i].obj == ref.obj {
+				w.held = append(w.held[:i:i], w.held[i+1:]...)
+				break
+			}
+		}
+	default:
+		target := callee(w.info, call)
+		if target == nil {
+			return
+		}
+		if _, inModule := w.funcs[target]; inModule && len(w.held) > 0 {
+			held := make([]lockRef, len(w.held))
+			copy(held, w.held)
+			*w.pending = append(*w.pending, pendingLockCall{
+				caller: fn, callee: target, held: held,
+				pos: call.Pos(), fnLabel: w.fnLabel, inScope: w.inScope,
+			})
+		}
+	}
+}
+
+// resolveLock identifies the mutex a Lock/Unlock call operates on: the
+// declaring field or variable object, labeled for diagnostics. Indexed
+// mutexes (locks[i]) and derefs of pointer values are not tracked.
+func resolveLock(info *types.Info, fnLabel string, call *ast.CallExpr) (lockRef, bool) {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockRef{}, false
+	}
+	// Promoted method through one or more embedded fields: identify the
+	// deepest embedded field that carries the mutex.
+	if sel := info.Selections[fun]; sel != nil && len(sel.Index()) > 1 {
+		t := sel.Recv()
+		var field *types.Var
+		for _, i := range sel.Index()[:len(sel.Index())-1] {
+			for {
+				if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					t = ptr.Elem()
+					continue
+				}
+				break
+			}
+			st, isStruct := t.Underlying().(*types.Struct)
+			if !isStruct {
+				return lockRef{}, false
+			}
+			field = st.Field(i)
+			t = field.Type()
+		}
+		if field == nil {
+			return lockRef{}, false
+		}
+		return lockRef{obj: field, label: typeLabel(sel.Recv()) + "." + field.Name()}, true
+	}
+	return resolveLockExpr(info, fnLabel, fun.X)
+}
+
+func resolveLockExpr(info *types.Info, fnLabel string, expr ast.Expr) (lockRef, bool) {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return lockRef{}, false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return lockRef{obj: v, label: v.Pkg().Name() + "." + v.Name()}, true
+		}
+		return lockRef{obj: v, label: fnLabel + "." + v.Name()}, true
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil {
+			v, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return lockRef{}, false
+			}
+			return lockRef{obj: v, label: typeLabel(sel.Recv()) + "." + v.Name()}, true
+		}
+		// Qualified identifier pkg.Var.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return lockRef{obj: v, label: v.Pkg().Name() + "." + v.Name()}, true
+		}
+	}
+	return lockRef{}, false
+}
+
+// typeLabel renders a receiver type as pkgname.TypeName.
+func typeLabel(t types.Type) string {
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}
+
+func sortedLockRefs(set map[types.Object]lockRef) []lockRef {
+	refs := make([]lockRef, 0, len(set))
+	for _, r := range set {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].label < refs[j].label })
+	return refs
+}
+
+// reportLockCycles deduplicates edges by (from, to) — first acquisition site
+// wins — and reports every edge that lies on a cycle.
+func reportLockCycles(p *Pass, edges []lockEdge) {
+	type pair struct{ from, to types.Object }
+	first := make(map[pair]lockEdge)
+	var order []pair
+	for _, e := range edges {
+		k := pair{e.from.obj, e.to.obj}
+		if _, ok := first[k]; !ok {
+			first[k] = e
+			order = append(order, k)
+		}
+	}
+	succs := make(map[types.Object][]types.Object)
+	for _, k := range order {
+		succs[k.from] = append(succs[k.from], k.to)
+	}
+	// reaches reports whether from can reach target through the edge set.
+	reaches := func(from, target types.Object) bool {
+		seen := make(map[types.Object]bool)
+		stack := []types.Object{from}
+		for len(stack) > 0 {
+			o := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if o == target {
+				return true
+			}
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			stack = append(stack, succs[o]...)
+		}
+		return false
+	}
+	for _, k := range order {
+		e := first[k]
+		if e.from.obj == e.to.obj {
+			p.Reportf(e.pos, "reacquiring %s while already held in %s (self-deadlock)", e.to.label, e.fn)
+			continue
+		}
+		if reaches(e.to.obj, e.from.obj) {
+			via := ""
+			if e.via != "" {
+				via = " via call to " + e.via
+			}
+			p.Reportf(e.pos, "acquiring %s while holding %s%s closes a lock-order cycle (%s → %s → %s) in %s",
+				e.to.label, e.from.label, via, e.from.label, e.to.label, e.from.label, e.fn)
+		}
+	}
+}

@@ -2,7 +2,8 @@ package analysis
 
 // All returns every analyzer in the suite, in stable order. cmd/automon-lint
 // runs exactly this list; the meta-test in this package asserts the two never
-// drift apart.
+// drift apart. The first six are PR 4's syntactic suite; the last four ride
+// the interprocedural dataflow layer (summary.go, cfg.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		Hotpath,
@@ -11,5 +12,9 @@ func All() []*Analyzer {
 		Erreig,
 		Obsnames,
 		Nofloateq,
+		Statepure,
+		Lockorder,
+		Golifecycle,
+		Floatflow,
 	}
 }

@@ -6,10 +6,11 @@ import (
 	"testing"
 )
 
-// TestRegistryComplete is the meta-test: the registry carries exactly the six
+// TestRegistryComplete is the meta-test: the registry carries exactly the ten
 // analyzers of the suite, in stable order, each fully populated.
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"hotpath", "poolpair", "determinism", "erreig", "obsnames", "nofloateq"}
+	want := []string{"hotpath", "poolpair", "determinism", "erreig", "obsnames", "nofloateq",
+		"statepure", "lockorder", "golifecycle", "floatflow"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returns %d analyzers, want %d", len(all), len(want))

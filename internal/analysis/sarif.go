@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// sarif.go renders diagnostics as a SARIF 2.1.0 log so CI systems (GitHub
+// code scanning, IDE SARIF viewers) can annotate findings in place. The
+// structs mirror the subset of the schema one static-analysis run needs:
+// one run, one tool driver with a rule per analyzer, one result per
+// diagnostic with a physical location. File URIs are emitted relative to
+// the module root under the SRCROOT uriBase, the schema's portable way to
+// keep logs machine-independent.
+
+const (
+	sarifVersion   = "2.1.0"
+	sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// directiveRuleID is the pseudo-rule for the harness's own directive-hygiene
+// diagnostics (malformed //automon:allow forms), which carry no analyzer.
+const directiveRuleID = "automon-lint"
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. analyzers populates the
+// rule table (every analyzer appears, findings or not, so a clean run still
+// documents what was checked); root, when non-empty, relativizes file paths
+// against the module root.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	rules := []sarifRule{{
+		ID:               directiveRuleID,
+		ShortDescription: sarifText{Text: "suppression directives must be well-formed and carry a reason"},
+	}}
+	index := map[string]int{directiveRuleID: 0}
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		ruleIndex, ok := index[d.Analyzer]
+		if !ok {
+			ruleIndex = 0
+		}
+		uri := d.Pos.Filename
+		baseID := ""
+		if root != "" {
+			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = filepath.ToSlash(rel)
+				baseID = "SRCROOT"
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:    rules[ruleIndex].ID,
+			RuleIndex: ruleIndex,
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: baseID},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "automon-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

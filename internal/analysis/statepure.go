@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Statepure is the machine-checked purity contract for ROADMAP item 1's
+// state-machine/routing split: every function annotated //automon:statepure
+// — the coordinator's protocol transition set — and every module function in
+// its static call closure may not perform I/O, read the wall clock, spawn
+// goroutines, draw from global rand, or write package-level state. A
+// transition that holds this contract runs identically at root, mid-tier or
+// leaf of a sharded coordinator tree, which is what makes the split safe.
+//
+// What the contract deliberately permits:
+//
+//   - Mutex use. Transitions serialize access to coordinator-owned state
+//     (zone cache, tracer buffers); locking is how the boundary is kept, not
+//     a violation of it.
+//   - Reads of package-level state (sentinel errors, method tables).
+//     Only writes are effects.
+//   - Calls through interfaces and function values. NodeComm is exactly the
+//     routing seam the pure side must not see through; its implementations
+//     live outside the contract and are checked by the other analyzers.
+//
+// A waived call site prunes the traversal, like hotpath: the waiver's reason
+// covers the subtree behind it.
+var Statepure = &Analyzer{
+	Name: "statepure",
+	Doc:  "functions marked //automon:statepure and their static callees must not reach I/O, the clock, goroutine spawns, global rand, or package-level writes",
+	Run:  runStatepure,
+}
+
+const statepureMarker = "//automon:statepure"
+
+// statepureBanned is the effect mask the transition closure must avoid.
+const statepureBanned = effIO | effClock | effRand | effSpawn | effGlobalWrite
+
+// statepureRoots returns the annotated root set in deterministic order.
+func statepureRoots(p *Pass, cg *callGraph) []*types.Func {
+	var roots []*types.Func
+	for _, fn := range cg.order {
+		if hasDirective(cg.funcs[fn].decl, statepureMarker) {
+			roots = append(roots, fn)
+		}
+	}
+	return roots
+}
+
+// hasDirective reports whether the declaration's doc comment carries the
+// given marker line.
+func hasDirective(decl *ast.FuncDecl, marker string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == marker {
+			return true
+		}
+	}
+	return false
+}
+
+func runStatepure(p *Pass) error {
+	cg := buildCallGraph(p)
+	roots := statepureRoots(p, cg)
+	reach := reachableFrom(p, cg, roots)
+	for _, fn := range reach.order {
+		sum := cg.summaries[fn]
+		for _, site := range sum.sites {
+			if site.eff&statepureBanned == 0 {
+				continue
+			}
+			p.Reportf(site.pos, "%s is impure for the protocol transition set (statepure closure: %s)",
+				site.what, reach.chain(cg, fn))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package fixgolden is the -fix golden fixture: FixSource must scaffold
+// TODO waivers above each flagged line (sorted per line when one line has
+// findings from several analyzers) and canonicalize the out-of-order
+// directive stack at the bottom of the file.
+package fixgolden
+
+import "errors"
+
+func mightFail() error { return errors.New("boom") }
+
+func value() (float64, error) { return 0, nil }
+
+func scaffoldTargets(a, b float64) bool {
+	_ = mightFail()
+	if a == b {
+		return true
+	}
+	if v, _ := value(); v == a {
+		return false
+	}
+	return false
+}
+
+// The stack below is deliberately out of canonical order; -fix sorts it
+// even when no scaffolds are inserted nearby.
+func sorted(c, d float64) {
+	//automon:allow nofloateq fixture: stack kept to exercise canonical sorting
+	//automon:allow erreig fixture: stack kept to exercise canonical sorting
+	_, _ = d, c
+}

@@ -1,0 +1,62 @@
+// Package core is the deterministic-package root set of the floatflow tree
+// fixture (loaded under fixture/floatflow/internal/core): every function
+// here is a rule-1 reachability root, and Dump/Report exercise the rule-2
+// sinks. Taint sites inside this package belong to the determinism
+// analyzer, so rule 1 reports only at the sites in helper.
+package core
+
+import (
+	"encoding/csv"
+	"math/rand"
+	"strconv"
+
+	"fixture/floatflow/helper"
+	"fixture/floatflow/internal/obs"
+)
+
+// Resolve reaches helper's order-sensitive map fold.
+func Resolve(m map[string]float64) float64 {
+	return helper.Fold(m)
+}
+
+// Idle reaches helper's racing select.
+func Idle(a, b chan int) int {
+	return helper.Race(a, b)
+}
+
+// Stats reaches global rand two calls down.
+func Stats() float64 {
+	return helper.Draw()
+}
+
+// Sampled waives the call edge: the waiver prunes helper.Sampler's subtree.
+func Sampled(m map[string]float64) float64 {
+	//automon:allow floatflow fixture: sampled diagnostics only, never protocol state
+	return helper.Sampler(m)
+}
+
+// Dump exercises the CSV sink: rowOf has an order-sensitive fold in its
+// call closure, and rand.Int is a direct external taint source.
+func Dump(w *csv.Writer, rows map[string][]string) error {
+	if err := w.Write(rowOf(rows)); err != nil { // want "core.rowOf has nondeterminism in its call closure and flows into csv.Write"
+		return err
+	}
+	return w.Write([]string{strconv.Itoa(rand.Int())}) // want "rand.Int \(global source\) flows into csv.Write; the recorded value is nondeterministic"
+}
+
+// Report taints a metric sink through a module call closure; the clean
+// closure next to it stays clean.
+func Report(g *obs.Gauge) {
+	g.Set(helper.Draw()) // want "helper.Draw has nondeterminism in its call closure and flows into metric obs.Gauge.Set"
+	g.Set(cleanValue())
+}
+
+func rowOf(rows map[string][]string) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
+func cleanValue() float64 { return 1.5 }

@@ -1,0 +1,9 @@
+// Package obs mimics the module's metric types so sinkName's internal/obs
+// suffix rule applies inside the fixture tree.
+package obs
+
+// Gauge is a minimal metric with the Set sink method.
+type Gauge struct{ v float64 }
+
+// Set records v.
+func (g *Gauge) Set(v float64) { g.v = v }

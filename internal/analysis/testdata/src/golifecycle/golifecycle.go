@@ -1,0 +1,104 @@
+// Package golifecycle exercises goroutine-termination checking: every go
+// statement and time.AfterFunc callback needs a reachable exit path.
+// Positive cases are the bare infinite-loop shapes; negatives are the
+// quit-channel select, ranging a closable channel, bounded loops, panic
+// paths, opaque function values, and a waived process-lifetime worker.
+package golifecycle
+
+import "time"
+
+func work() {}
+
+func wedged() bool { return false }
+
+// Leaky spawns a literal that can never reach its exit.
+func Leaky() {
+	go func() { // want "goroutine \(func literal\) has no reachable termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+// spin loops forever; spawning it by name is still resolvable.
+func spin() {
+	for {
+		work()
+	}
+}
+
+func LeakyNamed() {
+	go spin() // want "goroutine spin has no reachable termination path"
+}
+
+// LeakyTimer's callback never returns, so the timer goroutine wedges.
+func LeakyTimer() {
+	time.AfterFunc(time.Second, func() { // want "time.AfterFunc callback \(func literal\) has no reachable termination path"
+		for {
+			work()
+		}
+	})
+}
+
+// QuitChannel is the canonical worker: the quit case reaches return.
+func QuitChannel(ch <-chan int, quit <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+				work()
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+// RangeWorker terminates when the channel is closed.
+func RangeWorker(ch <-chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Bounded loops finitely.
+func Bounded() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			work()
+		}
+	}()
+}
+
+// Panics terminates ungracefully, but terminates.
+func Panics() {
+	go func() {
+		for {
+			if wedged() {
+				panic("wedged")
+			}
+			work()
+		}
+	}()
+}
+
+// OnceTimer's callback runs to completion; resolving a named callback
+// through an identifier works like a literal.
+func OnceTimer() *time.Timer {
+	return time.AfterFunc(time.Second, work)
+}
+
+// Opaque spawns through a function value: the body is not resolvable and
+// the spawn is skipped by contract.
+func Opaque(f func()) {
+	go f()
+}
+
+// Waived is a deliberate process-lifetime pump.
+func Waived() {
+	//automon:allow golifecycle fixture: process-lifetime pump by design, reaped at process exit
+	go spin()
+}

@@ -1,0 +1,153 @@
+// Package lockorder exercises the lock-acquisition-order analyzer. The
+// fixture is loaded under fixture/internal/core so its package is in the
+// graphed scope. Cases: an AB/BA inversion (both edges reported), a
+// self-deadlock through a call, a direct double-lock, a double-lock on an
+// embedded mutex, a propagated cycle through a callee, a consistently
+// ordered pair (clean), goroutine bodies starting with an empty held set
+// (clean), and a waived edge whose opposite direction still fires.
+package lockorder
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB and BA together close the classic inversion; each direction's
+// acquisition site is one cycle edge.
+func (s *S) AB() {
+	s.a.Lock()
+	s.b.Lock() // want "closes a lock-order cycle"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock() // want "closes a lock-order cycle"
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+type R struct {
+	mu sync.Mutex
+}
+
+// Outer holds mu across a call whose callee may reacquire it.
+func (r *R) Outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner() // want "may reacquire"
+}
+
+func (r *R) inner() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// Twice reacquires directly.
+func (r *R) Twice() {
+	r.mu.Lock()
+	r.mu.Lock() // want "reacquiring"
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// E's mutex is embedded; the promoted Lock still resolves to the field.
+type E struct {
+	sync.Mutex
+}
+
+func (e *E) Double() {
+	e.Lock()
+	e.Lock() // want "reacquiring"
+	e.Unlock()
+	e.Unlock()
+}
+
+type T struct {
+	m sync.Mutex
+	n sync.Mutex
+}
+
+// MN acquires n only through lockN: the edge is propagated via the
+// mayAcquire fixpoint and reported at the call site.
+func (t *T) MN() {
+	t.m.Lock()
+	t.lockN() // want "via call to .* closes a lock-order cycle"
+	t.m.Unlock()
+}
+
+func (t *T) lockN() {
+	t.n.Lock()
+	t.n.Unlock()
+}
+
+func (t *T) NM() {
+	t.n.Lock()
+	t.m.Lock() // want "closes a lock-order cycle"
+	t.m.Unlock()
+	t.n.Unlock()
+}
+
+// C's locks are always taken c before d: a consistent order is clean.
+type C struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (x *C) CD1() {
+	x.c.Lock()
+	x.d.Lock()
+	x.d.Unlock()
+	x.c.Unlock()
+}
+
+func (x *C) CD2() {
+	x.c.Lock()
+	defer x.c.Unlock()
+	x.d.Lock()
+	defer x.d.Unlock()
+}
+
+// G spawns a goroutine while holding g1; the goroutine does not run under
+// the caller's locks, so its g2 acquisition orders nothing after g1.
+type G struct {
+	g1 sync.Mutex
+	g2 sync.Mutex
+}
+
+func (g *G) SpawnClean(done chan struct{}) {
+	g.g1.Lock()
+	go func() {
+		g.g2.Lock()
+		g.g2.Unlock()
+		close(done)
+	}()
+	g.g1.Unlock()
+	g.g2.Lock()
+	g.g2.Unlock()
+}
+
+// W pins an instance order by waiver: the waived direction is suppressed,
+// the unwaived inverse still fires.
+type W struct {
+	p sync.Mutex
+	q sync.Mutex
+}
+
+func (w *W) PQ() {
+	w.p.Lock()
+	//automon:allow lockorder fixture: p-before-q is the pinned order; this edge is the documented direction
+	w.q.Lock()
+	w.q.Unlock()
+	w.p.Unlock()
+}
+
+func (w *W) QP() {
+	w.q.Lock()
+	w.p.Lock() // want "closes a lock-order cycle"
+	w.p.Unlock()
+	w.q.Unlock()
+}

@@ -1,0 +1,78 @@
+// Package statepure exercises the purity-boundary analyzer: functions
+// marked //automon:statepure and their static call closure may not reach
+// I/O, the clock, goroutine spawns, global rand, or package-level writes.
+// Locks, package-level reads, seeded rand and interface calls stay legal.
+package statepure
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var counter int
+
+var limit = 16
+
+var mu sync.Mutex
+
+// Transition is a root: its own violations and its callees' are findings.
+//
+//automon:statepure
+func Transition(x float64) float64 {
+	now := time.Now() // want "time.Now is impure for the protocol transition set"
+	_ = now
+	return helper(x)
+}
+
+// helper is reached transitively from Transition.
+func helper(x float64) float64 {
+	go func() { _ = x }()     // want "go statement is impure for the protocol transition set"
+	counter = 1               // want "write to package-level statepure.counter is impure"
+	return x + rand.Float64() // want "rand.Float64 \(global source\) is impure"
+}
+
+// clean is also reached from a root and holds the contract: locks, reads of
+// package-level state, and seeded rand are all permitted.
+func clean(x float64) float64 {
+	mu.Lock()
+	defer mu.Unlock()
+	r := rand.New(rand.NewSource(7))
+	if int(x) > limit {
+		return r.Float64()
+	}
+	return x
+}
+
+type comm interface {
+	Send(v float64)
+}
+
+// Route is a root whose only effectful call goes through an interface: the
+// routing seam is opaque by contract, so nothing is reported.
+//
+//automon:statepure
+func Route(c comm, x float64) float64 {
+	c.Send(x)
+	return clean(x)
+}
+
+// Waived is a root whose impure callee is waived at the call site; the
+// waiver prunes the subtree, so sloppy's violations are not findings.
+//
+//automon:statepure
+func Waived() {
+	//automon:allow statepure fixture: pruned subtree demonstrates waiver semantics
+	sloppy()
+}
+
+// sloppy is only reachable through the waived call site above.
+func sloppy() {
+	time.Sleep(time.Millisecond)
+}
+
+// Unmarked has effects but is no root and unreachable from one: clean.
+func Unmarked() {
+	counter = 2
+	time.Sleep(time.Millisecond)
+}

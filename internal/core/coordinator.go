@@ -274,27 +274,27 @@ func newCoordObs(reg *obs.Registry, tracer *obs.Tracer, labels string) coordObs 
 		rGrows:       reg.Counter(name(`automon_coordinator_adaptive_r_swaps_total{dir="grow"}`), "adaptive radius swaps applied at a full sync, by direction"),
 
 		adaptiveRetunes: reg.Counter(name("automon_coordinator_adaptive_retunes_total"), "background Algorithm-2 re-brackets that staged a new radius"),
-		nodeDeaths:   reg.Counter(name("automon_coordinator_node_deaths_total"), "nodes marked dead by the fabric"),
-		rejoins:      reg.Counter(name("automon_coordinator_rejoins_total"), "nodes re-admitted after a death"),
-		eigsolves:    reg.Counter(name("automon_coordinator_eigensolves_total"), "eigensolver evaluations performed by the ADCD-X search"),
-		zcHits:       reg.Counter(name("automon_coordinator_zone_cache_hits_total"), "full syncs that reused a cached ADCD-X decomposition"),
-		zcMisses:      reg.Counter(name("automon_coordinator_zone_cache_misses_total"), "full syncs that ran the eigenvalue search with the zone cache enabled"),
-		zcBypasses:    reg.Counter(name("automon_coordinator_zone_cache_bypasses_total"), "full syncs that skipped the zone cache because (x0, r) could not be quantized soundly"),
-		zcInvalidated: reg.Counter(name("automon_coordinator_zone_cache_invalidations_total"), "cached decompositions dropped because the neighborhood radius changed"),
-		ebLBFGS:      reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="lbfgs"}`), eigboundHelp),
-		ebInterval:   reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="interval"}`), eigboundHelp),
-		ebHybrid:     reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="hybrid"}`), eigboundHelp),
-		ebRefines:    reg.Counter(name("automon_coordinator_eigbound_hybrid_refines_total"), "hybrid eigen-engine escalations that ran the L-BFGS search on top of the interval certificate"),
-		ebOptEvals:   reg.Counter(name("automon_coordinator_eigbound_opt_evals_total"), "eigensolver evaluations performed inside the L-BFGS search (zero under the interval backend)"),
-		liveNodes:    reg.Gauge(name("automon_coordinator_live_nodes"), "nodes currently considered reachable"),
-		radius:       reg.Gauge(name("automon_coordinator_neighborhood_radius"), "current ADCD-X neighborhood size r"),
-		estimate:     reg.Gauge(name("automon_coordinator_estimate"), "current approximation of f over the live-node average"),
-		ewmaNeigh:    reg.Gauge(name(`automon_coordinator_violation_mix_ewma{kind="neighborhood"}`), "EWMA share of recent violations, by kind (adaptive radius controller)"),
-		ewmaSZ:       reg.Gauge(name(`automon_coordinator_violation_mix_ewma{kind="safe_zone"}`), "EWMA share of recent violations, by kind (adaptive radius controller)"),
-		ewmaSync:     reg.Gauge(name("automon_coordinator_full_sync_rate_ewma"), "EWMA share of recent violations resolved by a full sync (adaptive radius controller)"),
-		ewmaCost:     reg.Gauge(name("automon_coordinator_eigbound_cost_ewma"), "EWMA eigensolver evaluations per fresh ADCD-X zone build (adaptive radius controller)"),
-		lazySet:      reg.Histogram(name("automon_coordinator_balancing_set_size"), "nodes pulled into each resolved lazy sync", []float64{1, 2, 4, 8, 16, 32, 64}),
-		tracer:       tracer,
+		nodeDeaths:      reg.Counter(name("automon_coordinator_node_deaths_total"), "nodes marked dead by the fabric"),
+		rejoins:         reg.Counter(name("automon_coordinator_rejoins_total"), "nodes re-admitted after a death"),
+		eigsolves:       reg.Counter(name("automon_coordinator_eigensolves_total"), "eigensolver evaluations performed by the ADCD-X search"),
+		zcHits:          reg.Counter(name("automon_coordinator_zone_cache_hits_total"), "full syncs that reused a cached ADCD-X decomposition"),
+		zcMisses:        reg.Counter(name("automon_coordinator_zone_cache_misses_total"), "full syncs that ran the eigenvalue search with the zone cache enabled"),
+		zcBypasses:      reg.Counter(name("automon_coordinator_zone_cache_bypasses_total"), "full syncs that skipped the zone cache because (x0, r) could not be quantized soundly"),
+		zcInvalidated:   reg.Counter(name("automon_coordinator_zone_cache_invalidations_total"), "cached decompositions dropped because the neighborhood radius changed"),
+		ebLBFGS:         reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="lbfgs"}`), eigboundHelp),
+		ebInterval:      reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="interval"}`), eigboundHelp),
+		ebHybrid:        reg.Counter(name(`automon_coordinator_eigbound_builds_total{backend="hybrid"}`), eigboundHelp),
+		ebRefines:       reg.Counter(name("automon_coordinator_eigbound_hybrid_refines_total"), "hybrid eigen-engine escalations that ran the L-BFGS search on top of the interval certificate"),
+		ebOptEvals:      reg.Counter(name("automon_coordinator_eigbound_opt_evals_total"), "eigensolver evaluations performed inside the L-BFGS search (zero under the interval backend)"),
+		liveNodes:       reg.Gauge(name("automon_coordinator_live_nodes"), "nodes currently considered reachable"),
+		radius:          reg.Gauge(name("automon_coordinator_neighborhood_radius"), "current ADCD-X neighborhood size r"),
+		estimate:        reg.Gauge(name("automon_coordinator_estimate"), "current approximation of f over the live-node average"),
+		ewmaNeigh:       reg.Gauge(name(`automon_coordinator_violation_mix_ewma{kind="neighborhood"}`), "EWMA share of recent violations, by kind (adaptive radius controller)"),
+		ewmaSZ:          reg.Gauge(name(`automon_coordinator_violation_mix_ewma{kind="safe_zone"}`), "EWMA share of recent violations, by kind (adaptive radius controller)"),
+		ewmaSync:        reg.Gauge(name("automon_coordinator_full_sync_rate_ewma"), "EWMA share of recent violations resolved by a full sync (adaptive radius controller)"),
+		ewmaCost:        reg.Gauge(name("automon_coordinator_eigbound_cost_ewma"), "EWMA eigensolver evaluations per fresh ADCD-X zone build (adaptive radius controller)"),
+		lazySet:         reg.Histogram(name("automon_coordinator_balancing_set_size"), "nodes pulled into each resolved lazy sync", []float64{1, 2, 4, 8, 16, 32, 64}),
+		tracer:          tracer,
 	}
 }
 
@@ -577,6 +577,13 @@ func (c *Coordinator) Resync() error { return c.fullSync(nil) }
 // violation: lazy sync for safe-zone violations (when enabled), a full sync
 // otherwise. The violation's embedded vector refreshes the coordinator's
 // view of that node.
+//
+// The statepure marker makes this transition part of the machine-checked
+// purity boundary (ROADMAP item 1): its static call closure must stay free
+// of I/O, clocks, spawns, global rand and package-level writes, so the
+// same transition can run at any tier of a sharded coordinator tree.
+//
+//automon:statepure
 func (c *Coordinator) HandleViolation(v *Violation) error {
 	if v.NodeID < 0 || v.NodeID >= c.N {
 		return fmt.Errorf("core: violation from unknown node %d", v.NodeID)
@@ -683,6 +690,8 @@ func (c *Coordinator) invalidateZoneScope() {
 // so each sits exactly at the mean. Returns false when more than half the
 // nodes were pulled without resolution; the caller then falls back to a full
 // sync (which reuses the vectors pulled here via fresh).
+//
+//automon:statepure
 func (c *Coordinator) lazySync(v *Violation, fresh map[int]bool) bool {
 	c.obs.lazyAttempts.Inc()
 	d := c.F.Dim()
@@ -798,6 +807,8 @@ func (c *Coordinator) Thresholds(f0 float64) (l, u float64) {
 // so earlier neighborhood violations say nothing about the new neighborhood.
 // HandleViolation's neighborhood branch restores the streak afterwards —
 // only there is the violation itself part of the streak (§3.6).
+//
+//automon:statepure
 func (c *Coordinator) fullSync(fresh map[int]bool) error {
 	c.obs.fullSyncs.Inc()
 	c.consecNeigh = 0

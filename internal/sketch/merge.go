@@ -7,11 +7,11 @@ import "fmt"
 // the buckets are unrelated and every query on the result is silently wrong —
 // so every combine path rejects it with this typed error.
 type MismatchError struct {
-	Op                   string // "merge", "average", "ingest", ...
-	Kind                 string // "ams" or "countmin"
-	RowsA, ColsA         int
-	RowsB, ColsB         int
-	SeedA, SeedB         uint64
+	Op           string // "merge", "average", "ingest", ...
+	Kind         string // "ams" or "countmin"
+	RowsA, ColsA int
+	RowsB, ColsB int
+	SeedA, SeedB uint64
 }
 
 func (e *MismatchError) Error() string {

