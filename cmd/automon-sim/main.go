@@ -16,6 +16,7 @@ import (
 
 	"automon/internal/core"
 	"automon/internal/experiments"
+	"automon/internal/shard"
 	"automon/internal/sim"
 )
 
@@ -32,6 +33,9 @@ func main() {
 	adaptiveWindow := flag.Int("adaptive-window", 0, "full-sync snapshots retained as the re-tuning window (0 = default)")
 	adaptiveAlpha := flag.Float64("adaptive-alpha", 0, "EWMA decay per handled violation for the controller's triggers (0 = default)")
 	adaptiveCooldown := flag.Int("adaptive-cooldown", 0, "violations between re-tune attempts (0 = default)")
+	shards := flag.Int("shards", 0, "run through a hierarchical sharded coordinator with this many leaf shards (0 = flat; routing mode is bit-identical to flat)")
+	treeFanout := flag.Int("tree-fanout", 0, "children per interior shard tier (0 = default 8; needs -shards)")
+	shardAbsorb := flag.Bool("shard-absorb", false, "let leaf shards absorb safe-zone violations locally (ε-correct, not bit-identical; needs -shards)")
 	flag.Parse()
 
 	o := experiments.Options{Quick: !*full, Seed: *seed}
@@ -49,7 +53,13 @@ func main() {
 			AdaptiveWindow: *adaptiveWindow, AdaptiveAlpha: *adaptiveAlpha,
 			AdaptiveCooldown: *adaptiveCooldown,
 		},
-		TuneRounds: w.TuneRounds,
+		TuneRounds:  w.TuneRounds,
+		Shards:      *shards,
+		TreeFanout:  *treeFanout,
+		ShardAbsorb: *shardAbsorb,
+	}
+	if (*treeFanout != 0 || *shardAbsorb) && *shards <= 0 {
+		fail(fmt.Errorf("-tree-fanout and -shard-absorb require -shards"))
 	}
 	if *r > 0 {
 		cfg.Core.R = *r
@@ -78,6 +88,17 @@ func main() {
 	}
 	fmt.Printf("workload:        %s (d=%d, n=%d, %d monitored rounds)\n", w.Name, w.F.Dim(), w.Data.Nodes, res.Rounds)
 	fmt.Printf("algorithm:       %s\n", res.Algorithm)
+	if *shards > 0 {
+		fanout := *treeFanout
+		if fanout == 0 {
+			fanout = shard.DefaultFanout
+		}
+		mode := shard.ModeRoute
+		if *shardAbsorb {
+			mode = shard.ModeAbsorb
+		}
+		fmt.Printf("topology:        %d leaf shards, fan-out %d, %s mode\n", *shards, fanout, mode)
+	}
 	fmt.Printf("messages:        %d (payload %d bytes)\n", res.Messages, res.PayloadBytes)
 	for t, c := range res.MessagesByType {
 		fmt.Printf("  %-14s %d\n", t.String()+":", c)

@@ -66,9 +66,9 @@ func TestFloatflowTreeFixture(t *testing.T) {
 // a new transition //automon:statepure without extending this list — or
 // unmarking one — is forced into review, mirroring the hotpath manifest.
 var statepureManifest = map[string]bool{
-	"core.Coordinator.HandleViolation": true,
-	"core.Coordinator.fullSync":        true,
-	"core.Coordinator.lazySync":        true,
+	"core.Machine.HandleViolation": true,
+	"core.Machine.fullSync":        true,
+	"core.Machine.lazySync":        true,
 }
 
 func TestStatepureAnnotationsMatchManifest(t *testing.T) {

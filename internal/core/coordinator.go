@@ -2,8 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
-	"math"
 	"strings"
 
 	"automon/internal/linalg"
@@ -157,7 +155,7 @@ type NodeComm interface {
 }
 
 // CoordStats is a point-in-time snapshot of the coordinator's protocol
-// counters, as returned by Coordinator.Stats. The counters themselves live
+// counters, as returned by Machine.Stats. The counters themselves live
 // in the obs registry (see coordObs); this struct is purely a view, so the
 // values tests assert on and the values a /metrics scrape reports come from
 // the same instruments.
@@ -298,87 +296,6 @@ func newCoordObs(reg *obs.Registry, tracer *obs.Tracer, labels string) coordObs 
 	}
 }
 
-// Coordinator is the AutoMon coordinator algorithm (Algorithm 1, lines 1–8)
-// plus slack management, LRU lazy sync, and the neighborhood-doubling
-// fallback heuristic of §3.6.
-type Coordinator struct {
-	F    *Function
-	N    int
-	Cfg  Config
-	comm NodeComm
-
-	x0     []float64
-	zone   *SafeZone
-	r      float64
-	lastX  [][]float64
-	slacks [][]float64
-	eDec   *EDecomposition
-	method Method
-
-	// matrixSent tracks per node whether the (constant) ADCD-E matrix has
-	// been delivered. It is cleared when a node dies or rejoins: the node may
-	// have restarted as a fresh process that never saw the matrix.
-	matrixSent  []bool
-	lru         []int // least recently balanced first
-	consecNeigh int
-
-	// zoneCache caches ADCD-X decompositions keyed by quantized (x0, r) —
-	// either a private LRU (Config.ZoneCacheSize) or a process-wide one
-	// shared across groups (Config.SharedZoneCache). Nil when caching is
-	// off. zoneScope prefixes every key this coordinator writes.
-	zoneCache   *ZoneCache
-	zoneScope   string
-	zoneQuantum float64
-
-	// rMax is the resolved doubling cap (see Config.RMax / resolveRMax).
-	// radius is the drift-aware controller, nil unless Config.AdaptiveR is
-	// set on an ADCD-X run. rSwapped flags that the most recent full sync
-	// applied a staged radius, so HandleViolation's neighborhood branch must
-	// not restore a §3.6 streak counted against the old radius.
-	rMax     float64
-	radius   *radiusController
-	rSwapped bool
-
-	// Liveness: dead nodes are excluded from syncs, from the reference-point
-	// average, and from lazy-sync balancing sets until they rejoin. While any
-	// node is dead the estimate is Degraded: it ε-approximates f over the
-	// average of the live nodes only.
-	live      []bool
-	liveCount int
-
-	obs coordObs
-}
-
-// Stats snapshots the protocol counters. The snapshot is a view over the
-// same obs instruments the /metrics endpoint scrapes.
-func (c *Coordinator) Stats() CoordStats {
-	return CoordStats{
-		FullSyncs:              int(c.obs.fullSyncs.Load()),
-		LazyAttempts:           int(c.obs.lazyAttempts.Load()),
-		LazyResolved:           int(c.obs.lazyResolved.Load()),
-		NeighborhoodViolations: int(c.obs.neighViol.Load()),
-		SafeZoneViolations:     int(c.obs.szViol.Load()),
-		FaultyViolations:       int(c.obs.faultyViol.Load()),
-		RDoublings:             int(c.obs.rDoublings.Load()),
-		RSaturations:           int(c.obs.rSaturations.Load()),
-		RShrinks:               int(c.obs.rShrinks.Load()),
-		RGrows:                 int(c.obs.rGrows.Load()),
-		AdaptiveRetunes:        int(c.obs.adaptiveRetunes.Load()),
-		NodeDeaths:             int(c.obs.nodeDeaths.Load()),
-		Rejoins:                int(c.obs.rejoins.Load()),
-		Eigensolves:            int(c.obs.eigsolves.Load()),
-		ZoneCacheHits:          int(c.obs.zcHits.Load()),
-		ZoneCacheMisses:        int(c.obs.zcMisses.Load()),
-		ZoneCacheBypasses:      int(c.obs.zcBypasses.Load()),
-		ZoneCacheInvalidations: int(c.obs.zcInvalidated.Load()),
-		EigBoundBuildsLBFGS:    int(c.obs.ebLBFGS.Load()),
-		EigBoundBuildsInterval: int(c.obs.ebInterval.Load()),
-		EigBoundBuildsHybrid:   int(c.obs.ebHybrid.Load()),
-		HybridRefines:          int(c.obs.ebRefines.Load()),
-		OptEvals:               int(c.obs.ebOptEvals.Load()),
-	}
-}
-
 // eigboundBuilds returns the fresh-decomposition counter for a backend.
 func (o *coordObs) eigboundBuilds(b EigBackend) *obs.Counter {
 	switch b {
@@ -390,586 +307,159 @@ func (o *coordObs) eigboundBuilds(b EigBackend) *obs.Counter {
 	return o.ebLBFGS
 }
 
+// Coordinator is the flat (single-tier) AutoMon coordinator: the protocol
+// state machine (Machine) routed over a direct NodeComm fabric, with the
+// data plane — per-node vectors, slack assignments, ADCD-E matrix delivery
+// bookkeeping — held in a flatOwner. A sharded deployment replaces only the
+// ownership layer (internal/shard); the machine, and therefore the protocol,
+// is byte-for-byte the same code.
+type Coordinator struct {
+	*Machine
+	own *flatOwner
+}
+
 // NewCoordinator creates a coordinator for n nodes over function f. The
 // monitoring method is chosen automatically: ADCD-E when the computational
 // graph proves a constant Hessian, otherwise ADCD-X (or the no-ADCD ablation
 // when configured).
 func NewCoordinator(f *Function, n int, cfg Config, comm NodeComm) *Coordinator {
-	if cfg.RDoubleAfter <= 0 {
-		cfg.RDoubleAfter = 5 * n
+	o := &flatOwner{
+		comm:       comm,
+		lastX:      make([][]float64, n),
+		slacks:     make([][]float64, n),
+		matrixSent: make([]bool, n),
 	}
-	if cfg.DisableSlack {
-		cfg.DisableLazySync = true
-	}
-	c := &Coordinator{
-		F:    f,
-		N:    n,
-		Cfg:  cfg,
-		comm: comm,
-		r:    cfg.R,
-		obs:  newCoordObs(cfg.Metrics, cfg.Tracer, cfg.MetricsLabels),
-	}
-	c.obs.liveNodes.Set(float64(n))
-	c.obs.radius.Set(cfg.R)
-	// Surface the ADCD-X eigensolver work through the coordinator's metrics
-	// unless the caller already wired a counter of their own.
-	if c.Cfg.Decomp.EigsolveCounter == nil {
-		c.Cfg.Decomp.EigsolveCounter = c.obs.eigsolves
-	}
-	if c.Cfg.Decomp.OptEvalCounter == nil {
-		c.Cfg.Decomp.OptEvalCounter = c.obs.ebOptEvals
-	}
-	if cfg.SharedZoneCache != nil {
-		c.zoneCache = cfg.SharedZoneCache
-	} else if cfg.ZoneCacheSize > 0 {
-		c.zoneCache = NewZoneCache(cfg.ZoneCacheSize)
-	}
-	if c.zoneCache != nil {
-		c.zoneScope = cfg.ZoneCacheScope
-		c.zoneQuantum = cfg.ZoneCacheQuantum
-		if c.zoneQuantum <= 0 {
-			c.zoneQuantum = DefaultZoneCacheQuantum
-		}
-	}
-	c.lastX = make([][]float64, n)
-	c.slacks = make([][]float64, n)
-	c.matrixSent = make([]bool, n)
-	c.live = make([]bool, n)
-	c.liveCount = n
 	for i := 0; i < n; i++ {
-		c.lastX[i] = make([]float64, f.Dim())
-		c.slacks[i] = make([]float64, f.Dim())
-		c.lru = append(c.lru, i)
-		c.live[i] = true
+		o.lastX[i] = make([]float64, f.Dim())
+		o.slacks[i] = make([]float64, f.Dim())
 	}
-	switch {
-	case cfg.ZoneBuilder != nil:
-		c.method = MethodCustom
-	case cfg.DisableADCD:
-		c.method = MethodNone
-	case f.HasConstantHessian() && !cfg.ForceADCDX:
-		c.method = MethodE
-	default:
-		c.method = MethodX
-	}
-	c.rMax = resolveRMax(cfg, f)
-	c.radius = newRadiusController(c)
-	return c
+	m := NewMachine(f, n, cfg, o)
+	o.m = m
+	return &Coordinator{Machine: m, own: o}
 }
 
-// Method returns the automatically selected ADCD variant.
-func (c *Coordinator) Method() Method { return c.method }
+// flatOwner is the single-tier Ownership: all node vectors and slack live in
+// one process, and every fabric interaction goes straight through NodeComm.
+type flatOwner struct {
+	m    *Machine
+	comm NodeComm
 
-// R returns the current neighborhood radius (it can grow via the doubling
-// heuristic, and move either way under the adaptive controller).
-func (c *Coordinator) R() float64 { return c.r }
-
-// RMax returns the resolved cap on the neighborhood radius (see Config.RMax).
-func (c *Coordinator) RMax() float64 { return c.rMax }
-
-// PendingR returns the radius staged by the adaptive controller for the next
-// full sync, or 0 when none is staged (or the controller is disabled).
-func (c *Coordinator) PendingR() float64 {
-	if c.radius == nil {
-		return 0
-	}
-	return c.radius.pendingR
+	lastX  [][]float64
+	slacks [][]float64
+	// matrixSent tracks per node whether the (constant) ADCD-E matrix has
+	// been delivered. It is cleared when a node dies or rejoins: the node may
+	// have restarted as a fresh process that never saw the matrix.
+	matrixSent []bool
 }
 
-// Estimate returns the coordinator's current approximation f(x0).
-func (c *Coordinator) Estimate() float64 {
-	if c.zone == nil {
-		return math.NaN()
+// Store implements Ownership.
+func (o *flatOwner) Store(id int, x []float64) { copy(o.lastX[id], x) }
+
+// Refresh implements Ownership.
+func (o *flatOwner) Refresh(id int) bool {
+	x := o.comm.RequestData(id)
+	if x == nil {
+		return false
 	}
-	return c.zone.F0
-}
-
-// Zone returns the current safe zone (nil before Init).
-func (c *Coordinator) Zone() *SafeZone { return c.zone }
-
-// Live reports whether node id is currently considered reachable.
-func (c *Coordinator) Live(id int) bool { return c.live[id] }
-
-// LiveCount returns the number of nodes currently considered reachable.
-func (c *Coordinator) LiveCount() int { return c.liveCount }
-
-// Degraded reports whether the estimate currently covers only a subset of
-// the nodes: while any node is dead, the ε-guarantee holds for f over the
-// average of the live nodes, not the full population.
-func (c *Coordinator) Degraded() bool { return c.liveCount < c.N }
-
-// MarkDead excludes a node from syncs, the reference-point average, and lazy
-// balancing until MarkLive (or a rejoin/violation from it) revives it. The
-// messaging fabric calls it when it loses a node.
-func (c *Coordinator) MarkDead(id int) {
-	if id < 0 || id >= c.N || !c.live[id] {
-		return
-	}
-	c.live[id] = false
-	c.liveCount--
-	c.matrixSent[id] = false
-	c.obs.nodeDeaths.Inc()
-	c.obs.liveNodes.Set(float64(c.liveCount))
-	c.obs.tracer.Record(obs.EventNodeDeath, id, float64(c.liveCount), "")
-}
-
-// MarkLive reverses MarkDead.
-func (c *Coordinator) MarkLive(id int) {
-	if id < 0 || id >= c.N || c.live[id] {
-		return
-	}
-	c.live[id] = true
-	c.liveCount++
-	c.obs.liveNodes.Set(float64(c.liveCount))
-}
-
-// HandleDeparture marks a node dead and re-synchronizes the survivors so the
-// estimate degrades to the live-node average instead of silently averaging a
-// stale vector. Returns ErrNoLiveNodes when the departing node was the last
-// one; the estimate then freezes until a rejoin.
-func (c *Coordinator) HandleDeparture(id int) error {
-	if id < 0 || id >= c.N {
-		return fmt.Errorf("core: departure from unknown node %d", id)
-	}
-	c.MarkDead(id)
-	return c.fullSync(nil)
-}
-
-// HandleRejoin re-admits a node after a connection loss: its fresh vector
-// replaces the stale one and a full sync rebuilds the reference point, zone,
-// and slack assignment over the new live set (the returning node's previous
-// slack is void — only a full sync restores the Σᵢ sᵢ = 0 invariant).
-func (c *Coordinator) HandleRejoin(id int, x []float64) error {
-	if id < 0 || id >= c.N {
-		return fmt.Errorf("core: rejoin from unknown node %d", id)
-	}
-	c.MarkLive(id)
-	c.obs.rejoins.Inc()
-	c.obs.tracer.Record(obs.EventRejoin, id, float64(c.liveCount), "")
-	c.matrixSent[id] = false
-	if x != nil {
-		copy(c.lastX[id], x)
-	}
-	return c.fullSync(map[int]bool{id: true})
-}
-
-// Init pulls all local vectors and performs the first full sync. It must be
-// called once, after the nodes hold their initial vectors.
-func (c *Coordinator) Init() error {
-	for i := 0; i < c.N; i++ {
-		if !c.live[i] {
-			continue
-		}
-		if x := c.comm.RequestData(i); x != nil {
-			copy(c.lastX[i], x)
-		}
-	}
-	return c.fullSync(nil)
-}
-
-// Resync forces a full synchronization: fresh data pull, new reference
-// point, thresholds, and safe zones. Applications use it to re-engage
-// AutoMon after falling back to another monitoring scheme (the §6
-// "switching on the fly" extension).
-func (c *Coordinator) Resync() error { return c.fullSync(nil) }
-
-// HandleViolation is the coordinator's reaction to a node-reported
-// violation: lazy sync for safe-zone violations (when enabled), a full sync
-// otherwise. The violation's embedded vector refreshes the coordinator's
-// view of that node.
-//
-// The statepure marker makes this transition part of the machine-checked
-// purity boundary (ROADMAP item 1): its static call closure must stay free
-// of I/O, clocks, spawns, global rand and package-level writes, so the
-// same transition can run at any tier of a sharded coordinator tree.
-//
-//automon:statepure
-func (c *Coordinator) HandleViolation(v *Violation) error {
-	if v.NodeID < 0 || v.NodeID >= c.N {
-		return fmt.Errorf("core: violation from unknown node %d", v.NodeID)
-	}
-	copy(c.lastX[v.NodeID], v.X)
-	fresh := map[int]bool{v.NodeID: true}
-
-	// A violation from a dead-marked node proves it is alive again (e.g. a
-	// request timeout was a false suspicion). Revival always takes a full
-	// sync: the node's slack assignment predates its death and only a full
-	// sync restores the Σᵢ sᵢ = 0 invariant across the live set.
-	if !c.live[v.NodeID] {
-		c.MarkLive(v.NodeID)
-		c.obs.rejoins.Inc()
-		c.obs.tracer.Record(obs.EventRejoin, v.NodeID, float64(c.liveCount), "")
-		c.matrixSent[v.NodeID] = false
-		return c.fullSync(fresh)
-	}
-
-	switch v.Kind {
-	case ViolationNeighborhood:
-		c.obs.neighViol.Inc()
-		c.obs.tracer.Record(obs.EventViolation, v.NodeID, 0, "neighborhood")
-		// The §3.6 streak counts *consecutive* neighborhood violations; every
-		// full sync from another cause (including the one below when it is
-		// not neighborhood-triggered) resets it inside fullSync, so restore
-		// the running streak after the sync this violation forces.
-		streak := c.consecNeigh + 1
-		if streak >= c.Cfg.RDoubleAfter {
-			// §3.6 fallback: tuning data became unrepresentative; widen B —
-			// but never past rMax: unbounded doubling under a sustained storm
-			// would overflow the zone-cache quantizer and (with the interval
-			// backend) widen Hessian enclosures toward Entire.
-			streak = 0
-			newR := c.r * 2
-			if newR > c.rMax {
-				newR = c.rMax
-				c.obs.rSaturations.Inc()
-				c.obs.tracer.Record(obs.EventRSaturated, v.NodeID, c.rMax, "")
-			}
-			if newR > c.r {
-				c.r = newR
-				c.obs.rDoublings.Inc()
-				c.obs.radius.Set(c.r)
-				c.obs.tracer.Record(obs.EventRDouble, v.NodeID, c.r, "")
-				c.invalidateZoneScope()
-			}
-		}
-		err := c.fullSync(fresh)
-		if c.rSwapped {
-			// The sync installed a re-tuned radius; violations counted
-			// against the old one say nothing about the new neighborhood.
-			streak = 0
-		}
-		c.consecNeigh = streak
-		if c.radius != nil {
-			c.radius.observeViolation(true, false, true)
-			c.radius.maybeRetune()
-		}
-		return err
-	case ViolationFaulty:
-		c.obs.faultyViol.Inc()
-		c.obs.tracer.Record(obs.EventViolation, v.NodeID, 0, "faulty")
-		err := c.fullSync(fresh)
-		if c.radius != nil {
-			c.radius.observeViolation(false, false, true)
-			c.radius.maybeRetune()
-		}
-		return err
-	case ViolationSafeZone:
-		c.obs.szViol.Inc()
-		c.obs.tracer.Record(obs.EventViolation, v.NodeID, 0, "safe_zone")
-		c.consecNeigh = 0
-		resolved := !c.Cfg.DisableLazySync && c.lazySync(v, fresh)
-		var err error
-		if !resolved {
-			err = c.fullSync(fresh)
-		}
-		if c.radius != nil {
-			c.radius.observeViolation(false, true, !resolved)
-			c.radius.maybeRetune()
-		}
-		return err
-	}
-	return fmt.Errorf("core: unknown violation kind %v", v.Kind)
-}
-
-// invalidateZoneScope drops this coordinator's entries from the zone cache.
-// Called whenever the neighborhood radius changes: old-radius keys can never
-// match again, and in a shared cache they would squeeze out other tenants'
-// live entries until LRU pressure finally evicts them.
-func (c *Coordinator) invalidateZoneScope() {
-	if c.zoneCache == nil {
-		return
-	}
-	if n := c.zoneCache.InvalidateScope(c.zoneScope); n > 0 {
-		c.obs.zcInvalidated.Add(int64(n))
-	}
-}
-
-// lazySync implements the balancing protocol: starting from the violator, it
-// adds least-recently-used nodes to the balancing set until the mean of
-// their slacked vectors re-enters the safe zone, then rebalances their slack
-// so each sits exactly at the mean. Returns false when more than half the
-// nodes were pulled without resolution; the caller then falls back to a full
-// sync (which reuses the vectors pulled here via fresh).
-//
-//automon:statepure
-func (c *Coordinator) lazySync(v *Violation, fresh map[int]bool) bool {
-	c.obs.lazyAttempts.Inc()
-	d := c.F.Dim()
-	set := []int{v.NodeID}
-	c.touchLRU(v.NodeID)
-
-	sum := make([]float64, d)
-	linalg.Add(sum, c.lastX[v.NodeID], c.slacks[v.NodeID])
-
-	mean := make([]float64, d)
-	for {
-		if len(set) > c.liveCount/2 {
-			return false
-		}
-		next := c.pickLRU(set)
-		if next < 0 {
-			return false
-		}
-		x := c.comm.RequestData(next)
-		if x == nil || !c.live[next] {
-			// The fabric lost this node mid-pull; abort balancing and let the
-			// caller fall back to a full sync over the remaining live set.
-			return false
-		}
-		copy(c.lastX[next], x)
-		fresh[next] = true
-		set = append(set, next)
-		c.touchLRU(next)
-		for i := 0; i < d; i++ {
-			sum[i] += c.lastX[next][i] + c.slacks[next][i]
-		}
-		linalg.Scale(mean, 1/float64(len(set)), sum)
-		if c.zone.InNeighborhood(mean) && c.zone.Contains(c.F, mean) &&
-			c.zone.InAdmissibleRegion(c.F, mean) {
-			break
-		}
-	}
-
-	// Rebalance: v_j ← mean for every j in the set, i.e. s_j = mean − x_j.
-	// The per-set slack total is preserved, so Σᵢ sᵢ = 0 still holds and the
-	// monitored average remains the true average.
-	for _, j := range set {
-		linalg.Sub(c.slacks[j], mean, c.lastX[j])
-		c.comm.SendSlack(j, &Slack{NodeID: j, Slack: linalg.Clone(c.slacks[j])})
-	}
-	c.obs.lazyResolved.Inc()
-	c.obs.lazySet.Observe(float64(len(set)))
-	c.obs.tracer.Record(obs.EventLazySync, v.NodeID, float64(len(set)), "")
+	copy(o.lastX[id], x)
 	return true
 }
 
-// pickLRU returns the least-recently-used live node not already in set, or
-// -1. Dead nodes are skipped: pulling them would stall the resolution on a
-// request that can never be answered.
-func (c *Coordinator) pickLRU(set []int) int {
-	inSet := func(id int) bool {
-		for _, s := range set {
-			if s == id {
-				return true
-			}
-		}
-		return false
-	}
-	for _, id := range c.lru {
-		if c.live[id] && !inSet(id) {
-			return id
-		}
-	}
-	return -1
-}
-
-// touchLRU marks a node as most recently used.
-func (c *Coordinator) touchLRU(id int) {
-	for i, v := range c.lru {
-		if v == id {
-			copy(c.lru[i:], c.lru[i+1:])
-			c.lru[len(c.lru)-1] = id
-			return
-		}
+// AddSlacked implements Ownership.
+func (o *flatOwner) AddSlacked(sum []float64, id int) {
+	for j := range sum {
+		sum[j] += o.lastX[id][j] + o.slacks[id][j]
 	}
 }
 
-// Thresholds derives (L, U) from f(x0) under the configured error type.
-// Under Multiplicative error the interval width is ε·|f(x0)|, which
-// collapses to zero as f(x0) → 0 and turns every subsequent update into a
-// violation; a configurable absolute floor (Config.ThresholdFloor) keeps the
-// interval usable through zero crossings.
-func (c *Coordinator) Thresholds(f0 float64) (l, u float64) {
-	if c.Cfg.ErrorType == Multiplicative {
-		a := (1 - c.Cfg.Epsilon) * f0
-		b := (1 + c.Cfg.Epsilon) * f0
-		l, u = math.Min(a, b), math.Max(a, b)
-		floor := c.Cfg.ThresholdFloor
-		if floor == 0 {
-			floor = DefaultThresholdFloor
-		}
-		if floor > 0 && u-l < 2*floor {
-			l, u = f0-floor, f0+floor
-		}
-		return l, u
+// Rebalance implements Ownership.
+func (o *flatOwner) Rebalance(set []int, mean []float64) {
+	for _, j := range set {
+		linalg.Sub(o.slacks[j], mean, o.lastX[j])
+		o.comm.SendSlack(j, &Slack{NodeID: j, Slack: linalg.Clone(o.slacks[j])})
 	}
-	return f0 - c.Cfg.Epsilon, f0 + c.Cfg.Epsilon
 }
 
-// fullSync is Algorithm 1's CoordinatorFullSync: pull all live vectors
-// (minus the ones already fresh in this resolution), recompute x0 over the
-// live set, thresholds, the DC decomposition and safe zone, reset slack, and
-// sync every live node. Dead nodes keep their last vector but contribute
-// nothing: the estimate degrades to the live-node average.
-//
-// Every full sync also ends any running streak of consecutive neighborhood
-// violations: the nodes receive fresh zones around a fresh reference point,
-// so earlier neighborhood violations say nothing about the new neighborhood.
-// HandleViolation's neighborhood branch restores the streak afterwards —
-// only there is the violation itself part of the streak (§3.6).
-//
-//automon:statepure
-func (c *Coordinator) fullSync(fresh map[int]bool) error {
-	c.obs.fullSyncs.Inc()
-	c.consecNeigh = 0
-	c.rSwapped = false
-	if c.radius != nil && c.radius.applyPending() {
-		c.rSwapped = true
-	}
-	d := c.F.Dim()
-	for i := 0; i < c.N; i++ {
-		if fresh[i] || !c.live[i] {
+// Collect implements Ownership: the full-sync gather over the flat node set.
+// A nil RequestData response means the fabric just lost that node (and
+// marked it dead); the stale vector is kept and the live set below reflects
+// the death.
+func (o *flatOwner) Collect(fresh map[int]bool, accs []linalg.Acc) int {
+	for i := 0; i < o.m.N; i++ {
+		if fresh[i] || !o.m.Live(i) {
 			continue
 		}
-		// A nil response means the fabric just lost this node (and marked it
-		// dead); keep the stale vector and fall through — the live set below
-		// reflects the death.
-		if x := c.comm.RequestData(i); x != nil {
-			copy(c.lastX[i], x)
+		if x := o.comm.RequestData(i); x != nil {
+			copy(o.lastX[i], x)
 		}
 	}
-	if c.liveCount == 0 {
-		return ErrNoLiveNodes
-	}
-	if c.x0 == nil {
-		c.x0 = make([]float64, d)
-	}
-	for j := range c.x0 {
-		c.x0[j] = 0
-	}
-	for i := 0; i < c.N; i++ {
-		if !c.live[i] {
+	weight := 0
+	for i := 0; i < o.m.N; i++ {
+		if !o.m.Live(i) {
 			continue
 		}
-		linalg.Add(c.x0, c.x0, c.lastX[i])
+		linalg.AddVec(accs, o.lastX[i])
+		weight++
 	}
-	linalg.Scale(c.x0, 1/float64(c.liveCount), c.x0)
-	c.clampToDomain(c.x0)
+	return weight
+}
 
-	f0 := c.F.Value(c.x0)
-	l, u := c.Thresholds(f0)
-
-	var zone *SafeZone
-	var err error
-	switch c.method {
-	case MethodCustom:
-		zone = c.Cfg.ZoneBuilder(c.F, c.x0, l, u)
-	case MethodNone:
-		zone = BuildZoneNone(c.F, c.x0, l, u)
-	case MethodE:
-		if c.eDec == nil {
-			c.eDec, err = DecomposeE(c.F, c.x0)
-			if err != nil {
-				return err
-			}
-		}
-		zone = BuildZoneE(c.F, c.eDec, c.x0, l, u)
-	case MethodX:
-		bLo, bHi := NeighborhoodBox(c.F, c.x0, c.r)
-		var dec *XDecomposition
-		var key string
-		var keyOK bool
-		if c.zoneCache != nil {
-			// A key that cannot be quantized soundly (non-finite or huge
-			// coordinates) would alias unrelated entries; bypass the cache for
-			// this sync instead.
-			key, keyOK = quantizeKey(c.zoneScope, c.Cfg.Decomp.Backend, c.x0, c.r, c.zoneQuantum)
-			if !keyOK {
-				c.obs.zcBypasses.Inc()
-			} else if cached, ok := c.zoneCache.get(key); ok {
-				c.obs.zcHits.Inc()
-				dec = cached
-			} else {
-				c.obs.zcMisses.Inc()
-			}
-		}
-		if dec == nil {
-			solvesBefore := c.Cfg.Decomp.EigsolveCounter.Load()
-			dec, err = DecomposeX(c.F, c.x0, bLo, bHi, c.Cfg.Decomp)
-			if err != nil {
-				return err
-			}
-			c.obs.eigboundBuilds(dec.Backend).Inc()
-			if dec.Refined {
-				c.obs.ebRefines.Inc()
-			}
-			if c.radius != nil {
-				c.radius.observeBuild(float64(c.Cfg.Decomp.EigsolveCounter.Load() - solvesBefore))
-			}
-			if c.zoneCache != nil && keyOK {
-				c.zoneCache.put(key, dec)
-			}
-		}
-		zone = BuildZoneXFrom(c.F, c.x0, l, u, bLo, bHi, dec)
-	}
-	c.zone = zone
-	c.obs.estimate.Set(zone.F0)
-	c.obs.tracer.Record(obs.EventFullSync, -1, float64(c.liveCount), zone.Method.String())
-
-	for i := 0; i < c.N; i++ {
-		if !c.live[i] {
+// Distribute implements Ownership: slack assignment and zone delivery for
+// one full sync.
+func (o *flatOwner) Distribute(tmpl *Sync, zone *SafeZone) {
+	for i := 0; i < o.m.N; i++ {
+		if !o.m.Live(i) {
 			// A dead node holds no slack: Σᵢ sᵢ = 0 must hold over the live
 			// set alone, and the node's own copy is rebuilt on rejoin.
-			for j := range c.slacks[i] {
-				c.slacks[i][j] = 0
+			for j := range o.slacks[i] {
+				o.slacks[i][j] = 0
 			}
 			continue
 		}
-		if c.Cfg.DisableSlack {
-			for j := range c.slacks[i] {
-				c.slacks[i][j] = 0
+		if o.m.Cfg.DisableSlack {
+			for j := range o.slacks[i] {
+				o.slacks[i][j] = 0
 			}
 		} else {
-			linalg.Sub(c.slacks[i], c.x0, c.lastX[i])
+			linalg.Sub(o.slacks[i], tmpl.X0, o.lastX[i])
 		}
-		m := &Sync{
+		msg := &Sync{
 			NodeID: i,
-			Method: zone.Method,
-			Kind:   zone.Kind,
-			X0:     linalg.Clone(c.x0),
-			F0:     zone.F0,
-			GradF0: linalg.Clone(zone.GradF0),
-			L:      l,
-			U:      u,
-			Lam:    zone.Lam,
-			R:      c.r,
-			Slack:  linalg.Clone(c.slacks[i]),
+			Method: tmpl.Method,
+			Kind:   tmpl.Kind,
+			X0:     linalg.Clone(tmpl.X0),
+			F0:     tmpl.F0,
+			GradF0: linalg.Clone(tmpl.GradF0),
+			L:      tmpl.L,
+			U:      tmpl.U,
+			Lam:    tmpl.Lam,
+			R:      tmpl.R,
+			Slack:  linalg.Clone(o.slacks[i]),
 		}
-		if c.method == MethodE && !c.matrixSent[i] {
-			m.WithMatrix = true
+		if o.m.Method() == MethodE && !o.matrixSent[i] {
+			msg.WithMatrix = true
 			if zone.Kind == ConvexDiff {
-				m.Matrix = zone.HMinus
+				msg.Matrix = zone.HMinus
 			} else {
-				m.Matrix = zone.HPlus
+				msg.Matrix = zone.HPlus
 			}
-			c.matrixSent[i] = true
+			o.matrixSent[i] = true
 		}
-		if c.method == MethodCustom {
-			m.Zone = zone
+		if o.m.Method() == MethodCustom {
+			msg.Zone = zone
 		}
-		c.comm.SendSync(i, m)
+		o.comm.SendSync(i, msg)
 	}
-	if c.radius != nil {
-		c.radius.recordSnapshot()
-	}
-	return nil
 }
 
-// clampToDomain keeps the reference point inside D; averaging cannot leave
-// a convex domain box, but numerical round-off at the boundary can.
-func (c *Coordinator) clampToDomain(x []float64) {
-	if c.F.DomainLo != nil {
-		for i := range x {
-			if x[i] < c.F.DomainLo[i] {
-				x[i] = c.F.DomainLo[i]
-			}
-		}
+// Forget implements Ownership.
+func (o *flatOwner) Forget(id int) { o.matrixSent[id] = false }
+
+// Snapshot implements Ownership.
+func (o *flatOwner) Snapshot() [][]float64 {
+	round := make([][]float64, len(o.lastX))
+	for i := range o.lastX {
+		round[i] = append([]float64(nil), o.lastX[i]...)
 	}
-	if c.F.DomainHi != nil {
-		for i := range x {
-			if x[i] > c.F.DomainHi[i] {
-				x[i] = c.F.DomainHi[i]
-			}
-		}
-	}
+	return round
 }

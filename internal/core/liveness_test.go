@@ -97,7 +97,7 @@ func slackSumOverLive(t *testing.T, coord *Coordinator) {
 	sum := make([]float64, coord.F.Dim())
 	for i := 0; i < coord.N; i++ {
 		if coord.Live(i) {
-			linalg.Add(sum, sum, coord.slacks[i])
+			linalg.Add(sum, sum, coord.own.slacks[i])
 		}
 	}
 	for j, v := range sum {
@@ -136,7 +136,7 @@ func TestDepartureDegradesEstimateToLiveAverage(t *testing.T) {
 		t.Fatalf("NodeDeaths = %d, want 1", coord.Stats().NodeDeaths)
 	}
 	// The dead node must hold no slack in the coordinator's book-keeping.
-	for j, v := range coord.slacks[2] {
+	for j, v := range coord.own.slacks[2] {
 		if v != 0 {
 			t.Fatalf("dead node retains slack: component %d = %v", j, v)
 		}

@@ -22,6 +22,11 @@ const (
 	MsgSync
 	MsgSlack
 	MsgRejoin
+	// MsgPartial and MsgSubtreeRejoin are the shard-tier messages of the
+	// hierarchical coordinator (internal/shard): partial aggregates flow
+	// shard→parent, and a healed partition re-registers a whole sub-tree.
+	MsgPartial
+	MsgSubtreeRejoin
 )
 
 func (t MsgType) String() string {
@@ -38,6 +43,10 @@ func (t MsgType) String() string {
 		return "slack"
 	case MsgRejoin:
 		return "rejoin"
+	case MsgPartial:
+		return "partial"
+	case MsgSubtreeRejoin:
+		return "subtree-rejoin"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
@@ -159,6 +168,7 @@ type encoder struct{ buf []byte }
 func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
 func (e *encoder) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
 func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
 func (e *encoder) f64(v float64) {
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
 }
@@ -201,6 +211,16 @@ func (d *decoder) u32() uint32 {
 	}
 	v := binary.LittleEndian.Uint32(d.buf)
 	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
 	return v
 }
 
@@ -354,6 +374,10 @@ func Decode(buf []byte) (Message, error) {
 	case MsgRejoin:
 		m := &Rejoin{NodeID: int(d.u16()), X: d.vec()}
 		return m, d.err
+	case MsgPartial:
+		return decodePartial(d)
+	case MsgSubtreeRejoin:
+		return decodeSubtreeRejoin(d)
 	}
 	return nil, fmt.Errorf("core: unknown message type %d", uint8(t))
 }

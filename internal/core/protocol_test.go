@@ -195,7 +195,7 @@ func TestSlackSumsToZero(t *testing.T) {
 	checkSum := func(when string) {
 		sum := make([]float64, f.Dim())
 		for i := 0; i < n; i++ {
-			linalg.Add(sum, sum, coord.slacks[i])
+			linalg.Add(sum, sum, coord.own.slacks[i])
 		}
 		if linalg.Norm2(sum) > 1e-9 {
 			t.Fatalf("%s: slack sum = %v, want 0 (invariant Σsᵢ = 0)", when, sum)

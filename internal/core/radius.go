@@ -67,7 +67,7 @@ const (
 // the coordinator goroutine (the controller adds no locks and no clocks, so
 // the determinism analyzer's constraints hold trivially).
 type radiusController struct {
-	c *Coordinator
+	m *Machine
 
 	alpha    float64
 	window   int
@@ -87,7 +87,7 @@ type radiusController struct {
 	// (the cooldown clock — event time, not wall time).
 	violations int
 
-	// rounds is the re-tuning window: clones of the coordinator's node
+	// rounds is the re-tuning window: clones of the data plane's node
 	// vectors captured at each full sync, oldest first.
 	rounds [][][]float64
 
@@ -95,18 +95,18 @@ type radiusController struct {
 	pendingR float64
 }
 
-// newRadiusController wires a controller for coordinator c, or returns nil
+// newRadiusController wires a controller for machine m, or returns nil
 // when the configuration (or monitoring method) does not call for one.
-func newRadiusController(c *Coordinator) *radiusController {
-	if !c.Cfg.AdaptiveR || c.method != MethodX {
+func newRadiusController(m *Machine) *radiusController {
+	if !m.Cfg.AdaptiveR || m.method != MethodX {
 		return nil
 	}
 	rc := &radiusController{
-		c:        c,
-		alpha:    c.Cfg.AdaptiveAlpha,
-		window:   c.Cfg.AdaptiveWindow,
-		cooldown: c.Cfg.AdaptiveCooldown,
-		baseR:    c.r,
+		m:        m,
+		alpha:    m.Cfg.AdaptiveAlpha,
+		window:   m.Cfg.AdaptiveWindow,
+		cooldown: m.Cfg.AdaptiveCooldown,
+		baseR:    m.r,
 	}
 	if rc.alpha <= 0 || rc.alpha > 1 {
 		rc.alpha = DefaultAdaptiveAlpha
@@ -115,7 +115,7 @@ func newRadiusController(c *Coordinator) *radiusController {
 		rc.window = DefaultAdaptiveWindow
 	}
 	if rc.cooldown <= 0 {
-		rc.cooldown = 2 * c.Cfg.RDoubleAfter
+		rc.cooldown = 2 * m.Cfg.RDoubleAfter
 	}
 	return rc
 }
@@ -172,9 +172,9 @@ func (rc *radiusController) observeViolation(kindNeigh, kindSZ, fullSync bool) {
 	rc.neighEWMA += rc.alpha * (b2f(kindNeigh) - rc.neighEWMA)
 	rc.szEWMA += rc.alpha * (b2f(kindSZ) - rc.szEWMA)
 	rc.syncEWMA += rc.alpha * (b2f(fullSync) - rc.syncEWMA)
-	rc.c.obs.ewmaNeigh.Set(rc.neighEWMA)
-	rc.c.obs.ewmaSZ.Set(rc.szEWMA)
-	rc.c.obs.ewmaSync.Set(rc.syncEWMA)
+	rc.m.obs.ewmaNeigh.Set(rc.neighEWMA)
+	rc.m.obs.ewmaSZ.Set(rc.szEWMA)
+	rc.m.obs.ewmaSync.Set(rc.syncEWMA)
 }
 
 func b2f(v bool) float64 {
@@ -188,18 +188,16 @@ func b2f(v bool) float64 {
 // into the build-cost EWMA.
 func (rc *radiusController) observeBuild(eigsolves float64) {
 	rc.costEWMA += rc.alpha * (eigsolves - rc.costEWMA)
-	rc.c.obs.ewmaCost.Set(rc.costEWMA)
+	rc.m.obs.ewmaCost.Set(rc.costEWMA)
 }
 
-// recordSnapshot captures the coordinator's refreshed node vectors as one
+// recordSnapshot captures the data plane's refreshed node vectors as one
 // window round. Called at the end of every full sync, when every live
-// node's vector is fresh.
+// node's vector is fresh; the ownership layer clones them in global node
+// order, so a sharded tree feeds the controller the same windows a flat
+// coordinator would.
 func (rc *radiusController) recordSnapshot() {
-	n := rc.c.N
-	round := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		round[i] = append([]float64(nil), rc.c.lastX[i]...)
-	}
+	round := rc.m.own.Snapshot()
 	if len(rc.rounds) >= rc.window {
 		copy(rc.rounds, rc.rounds[1:])
 		rc.rounds[len(rc.rounds)-1] = round
@@ -221,7 +219,7 @@ func (rc *radiusController) maybeRetune() {
 		return
 	}
 	grow := rc.neighEWMA >= adaptiveGrowEWMA
-	shrink := rc.c.r > rc.baseR &&
+	shrink := rc.m.r > rc.baseR &&
 		rc.neighEWMA <= adaptiveShrinkNeighEWMA &&
 		(rc.szEWMA >= adaptiveShrinkViolEWMA || rc.syncEWMA >= adaptiveShrinkSyncEWMA)
 	if !grow && !shrink {
@@ -239,7 +237,7 @@ func (rc *radiusController) maybeRetune() {
 // at any worker count, so the staged radius is deterministic.
 func (rc *radiusController) retune() {
 	rc.violations = 0 // restart the cooldown even when the search fails
-	cfg := rc.c.Cfg
+	cfg := rc.m.Cfg
 	cfg.R = 0
 	cfg.AdaptiveR = false
 	cfg.Metrics = nil
@@ -253,29 +251,29 @@ func (rc *radiusController) retune() {
 
 	data := make(TuningData, len(rc.rounds))
 	copy(data, rc.rounds)
-	res, err := Tune(rc.c.F, data, rc.c.N, cfg)
+	res, err := Tune(rc.m.F, data, rc.m.N, cfg)
 	if err != nil {
 		// An unconverged bracket (or a failed replay) carries no quality
 		// argument; keep the current radius and let the cooldown retry on a
 		// fresher window.
-		rc.c.obs.tracer.Record(obs.EventRetune, -1, 0, "bracket-failed")
+		rc.m.obs.tracer.Record(obs.EventRetune, -1, 0, "bracket-failed")
 		return
 	}
 	newR := res.R
-	if newR > rc.c.rMax {
-		newR = rc.c.rMax
+	if newR > rc.m.rMax {
+		newR = rc.m.rMax
 	}
 	if newR <= 0 {
 		return
 	}
-	rel := math.Abs(newR-rc.c.r) / rc.c.r
+	rel := math.Abs(newR-rc.m.r) / rc.m.r
 	if rel < adaptiveMinRelChange {
-		rc.c.obs.tracer.Record(obs.EventRetune, -1, newR, "within-noise")
+		rc.m.obs.tracer.Record(obs.EventRetune, -1, newR, "within-noise")
 		return
 	}
 	rc.pendingR = newR
-	rc.c.obs.adaptiveRetunes.Inc()
-	rc.c.obs.tracer.Record(obs.EventRetune, -1, newR, "staged")
+	rc.m.obs.adaptiveRetunes.Inc()
+	rc.m.obs.tracer.Record(obs.EventRetune, -1, newR, "staged")
 	// Reset the mix: the staged radius answers the regime these EWMAs
 	// measured; carrying them over would re-trigger on stale evidence.
 	rc.neighEWMA, rc.szEWMA, rc.syncEWMA = 0, 0, 0
@@ -291,17 +289,17 @@ func (rc *radiusController) applyPending() bool {
 	}
 	newR := rc.pendingR
 	rc.pendingR = 0
-	c := rc.c
-	if newR < c.r {
-		c.obs.rShrinks.Inc()
-		c.obs.tracer.Record(obs.EventRShrink, -1, newR, "")
+	m := rc.m
+	if newR < m.r {
+		m.obs.rShrinks.Inc()
+		m.obs.tracer.Record(obs.EventRShrink, -1, newR, "")
 	} else {
-		c.obs.rGrows.Inc()
-		c.obs.tracer.Record(obs.EventRGrow, -1, newR, "")
+		m.obs.rGrows.Inc()
+		m.obs.tracer.Record(obs.EventRGrow, -1, newR, "")
 	}
-	c.r = newR
+	m.r = newR
 	rc.baseR = newR
-	c.obs.radius.Set(c.r)
-	c.invalidateZoneScope()
+	m.obs.radius.Set(m.r)
+	m.invalidateZoneScope()
 	return true
 }

@@ -1,0 +1,362 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// Acc is an exact fixed-point superaccumulator for float64 summation. Every
+// finite float64 is an integer multiple of 2^-1074, so a wide-enough
+// fixed-point register can hold any finite sum of them without rounding;
+// addition of integers is associative and commutative, so the accumulated
+// value — and therefore Round's correctly rounded float64 — depends only on
+// the multiset of added values, never on the order or grouping of the
+// additions.
+//
+// That order-independence is what makes hierarchical coordination sound at
+// the bit level (DESIGN.md "Partial-average soundness"): a tree of
+// sub-coordinators can sum its leaves' partial accumulators in any shape and
+// obtain exactly the accumulator — and exactly the reference point x̄ — a
+// flat coordinator computes over the same vectors.
+//
+// The register covers the full finite float64 range: bit i of the register
+// weighs 2^(i-1074), and 32-bit limbs are carried lazily in int64 slots so
+// about 2^31 additions fit between normalizations (Add normalizes long
+// before that). Non-finite inputs are tracked out of band with IEEE
+// semantics: any NaN — or infinities of both signs — poisons the sum to NaN,
+// otherwise an infinity of one sign dominates.
+//
+// The zero Acc is an empty sum, ready for use.
+type Acc struct {
+	// limb holds the register in radix 2^32, least significant first, as a
+	// lazily-carried two's-complement value: limb[i] weighs 2^(32i-1074).
+	limb [accLimbs]int64
+	// adds counts additions since the last carry normalization.
+	adds int
+	// posInf/negInf/nan track non-finite inputs out of band.
+	posInf, negInf int
+	nan            bool
+}
+
+const (
+	// accLimbs covers 2^-1074 .. 2^1024 (2098 bits → 66 limbs) plus one limb
+	// of carry headroom.
+	accLimbs = 67
+	// accNormalizeEvery bounds lazy carries: each Add contributes < 2^32 to a
+	// limb slot, so normalizing every 2^28 additions keeps every slot far
+	// from int64 overflow even when merges stack accumulators.
+	accNormalizeEvery = 1 << 28
+)
+
+// Reset restores the empty sum.
+func (a *Acc) Reset() { *a = Acc{} }
+
+// Add folds one float64 into the accumulator.
+func (a *Acc) Add(x float64) {
+	b := math.Float64bits(x)
+	exp := int(b>>52) & 0x7FF
+	mant := b & (1<<52 - 1)
+	if exp == 0x7FF {
+		if mant != 0 {
+			a.nan = true
+		} else if b>>63 == 0 {
+			a.posInf++
+		} else {
+			a.negInf++
+		}
+		return
+	}
+	if exp == 0 {
+		if mant == 0 {
+			return // ±0 contributes nothing
+		}
+		exp = 1 // subnormal: no implied bit, same exponent bias
+	} else {
+		mant |= 1 << 52
+	}
+	// The value is mant·2^(exp-1075); register bit 0 weighs 2^-1074, so the
+	// mantissa's least significant bit lands at register bit exp-1 ≥ 0.
+	q := exp - 1
+	idx, sh := q>>5, uint(q&31)
+	hi, lo := bits.Mul64(mant, 1<<sh) // exact: ≤ 53+31 bits
+	if b>>63 == 0 {
+		a.limb[idx] += int64(lo & 0xFFFFFFFF)
+		a.limb[idx+1] += int64(lo >> 32)
+		a.limb[idx+2] += int64(hi)
+	} else {
+		a.limb[idx] -= int64(lo & 0xFFFFFFFF)
+		a.limb[idx+1] -= int64(lo >> 32)
+		a.limb[idx+2] -= int64(hi)
+	}
+	a.adds++
+	if a.adds >= accNormalizeEvery {
+		a.normalize()
+	}
+}
+
+// Merge folds another accumulator into a. The other accumulator is not
+// modified. Merging is exact, so any tree of merges over the same leaf
+// accumulators yields the same final sum.
+func (a *Acc) Merge(b *Acc) {
+	for i := range a.limb {
+		a.limb[i] += b.limb[i]
+	}
+	a.adds += b.adds + 1
+	if a.adds >= accNormalizeEvery {
+		a.normalize()
+	}
+	a.posInf += b.posInf
+	a.negInf += b.negInf
+	a.nan = a.nan || b.nan
+}
+
+// normalize propagates lazy carries so every limb lies in [0, 2^32), with the
+// overall sign carried in two's complement across the register. The value is
+// unchanged.
+func (a *Acc) normalize() {
+	var carry int64
+	for i := range a.limb {
+		v := a.limb[i] + carry
+		a.limb[i] = v & 0xFFFFFFFF
+		carry = v >> 32 // arithmetic shift: floors negatives
+	}
+	// carry is now the sign extension (0 or -1); fold it back into the top
+	// limb so the register remains a pure two's-complement window. The top
+	// limb is headroom: finite sums never reach it with data bits.
+	a.limb[accLimbs-1] += carry << 32
+	a.adds = 0
+}
+
+// sign reports the register's sign after normalization: -1, 0 or +1.
+func (a *Acc) signNormalized() int {
+	top := a.limb[accLimbs-1]
+	if top < 0 || top>>31 != 0 { // two's-complement negative window
+		return -1
+	}
+	for i := accLimbs - 1; i >= 0; i-- {
+		if a.limb[i] != 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// magnitude negates a normalized-negative register in place, returning the
+// magnitude limbs of the absolute value in [0, 2^32) each.
+func (a *Acc) magnitude(neg bool) {
+	if !neg {
+		return
+	}
+	var borrow int64
+	for i := range a.limb {
+		v := -a.limb[i] + borrow
+		a.limb[i] = v & 0xFFFFFFFF
+		borrow = v >> 32
+	}
+}
+
+// Round returns the correctly rounded (nearest-even) float64 value of the
+// sum. The accumulator itself is left normalized and unchanged in value.
+func (a *Acc) Round() float64 {
+	if a.nan || (a.posInf > 0 && a.negInf > 0) {
+		return math.NaN()
+	}
+	if a.posInf > 0 {
+		return math.Inf(1)
+	}
+	if a.negInf > 0 {
+		return math.Inf(-1)
+	}
+	a.normalize()
+	sg := a.signNormalized()
+	if sg == 0 {
+		return 0
+	}
+	// Work on a magnitude copy so the accumulator stays reusable.
+	m := *a
+	m.magnitude(sg < 0)
+	// Locate the most significant bit.
+	top := accLimbs - 1
+	for top >= 0 && m.limb[top] == 0 {
+		top--
+	}
+	p := 32*top + bits.Len64(uint64(m.limb[top])) - 1 // register bit index of the MSB
+	mantBits := func(i int) uint64 {
+		// Register bit i, or 0 below the register.
+		if i < 0 {
+			return 0
+		}
+		return (uint64(m.limb[i>>5]) >> uint(i&31)) & 1
+	}
+	if p <= 51 {
+		// Subnormal range: at most 52 data bits above the register floor, all
+		// exactly representable.
+		var mant uint64
+		for i := p; i >= 0; i-- {
+			mant = mant<<1 | mantBits(i)
+		}
+		return ldexpSigned(mant, -1074, sg)
+	}
+	// Normal path: take 53 bits p..p-52, round to nearest-even on the rest.
+	var mant uint64
+	for i := p; i > p-53; i-- {
+		mant = mant<<1 | mantBits(i)
+	}
+	guard := mantBits(p - 53)
+	sticky := uint64(0)
+	if guard == 1 {
+		// Sticky = any set bit below the guard.
+		for i := 0; i <= (p-54)>>5 && i < accLimbs; i++ {
+			w := uint64(m.limb[i])
+			if 32*i+31 > p-54 {
+				w &= (1 << uint((p-54)-32*i+1)) - 1
+			}
+			sticky |= w
+		}
+		if sticky != 0 || mant&1 == 1 {
+			mant++
+			if mant == 1<<53 {
+				mant >>= 1
+				p++
+			}
+		}
+	}
+	e := p - 52 - 1074
+	if e > 1023-52 {
+		return math.Inf(sg)
+	}
+	return ldexpSigned(mant, e, sg)
+}
+
+// ldexpSigned assembles sign·mant·2^e; mant ≤ 2^53 so the product is exact
+// whenever it is representable.
+func ldexpSigned(mant uint64, e, sg int) float64 {
+	v := math.Ldexp(float64(mant), e)
+	if sg < 0 {
+		return -v
+	}
+	return v
+}
+
+// --- wire form ------------------------------------------------------------
+
+// Acc wire form: a flags byte, then for finite sums a sparse window of
+// magnitude limbs (offset, count, then count little-endian u32 limbs). The
+// window form is canonical — produced from a normalized sign-magnitude
+// register — so equal sums serialize identically regardless of how they were
+// accumulated.
+const (
+	accFlagNeg  = 1 << 0
+	accFlagPInf = 1 << 1
+	accFlagNInf = 1 << 2
+	accFlagNaN  = 1 << 3
+)
+
+// ErrAccCorrupt is returned when decoding a malformed accumulator wire form.
+var ErrAccCorrupt = errors.New("linalg: corrupt accumulator encoding")
+
+// AppendBinary appends the canonical wire form of the sum to dst.
+func (a *Acc) AppendBinary(dst []byte) []byte {
+	if a.nan || (a.posInf > 0 && a.negInf > 0) {
+		return append(dst, accFlagNaN)
+	}
+	if a.posInf > 0 {
+		return append(dst, accFlagPInf)
+	}
+	if a.negInf > 0 {
+		return append(dst, accFlagNInf)
+	}
+	a.normalize()
+	sg := a.signNormalized()
+	m := *a
+	m.magnitude(sg < 0)
+	lo, hi := 0, accLimbs-1
+	for lo < accLimbs && m.limb[lo] == 0 {
+		lo++
+	}
+	for hi >= lo && m.limb[hi] == 0 {
+		hi--
+	}
+	var flags byte
+	if sg < 0 {
+		flags |= accFlagNeg
+	}
+	dst = append(dst, flags)
+	if hi < lo { // zero
+		dst = append(dst, 0, 0)
+		return dst
+	}
+	n := hi - lo + 1
+	dst = append(dst, byte(lo), byte(n))
+	for i := lo; i <= hi; i++ {
+		v := uint32(m.limb[i])
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
+// DecodeAcc parses one accumulator wire form from buf, returning the
+// accumulator and the remaining bytes. Malformed input — truncation, window
+// out of range, or trailing garbage limbs beyond the register — returns
+// ErrAccCorrupt and never panics.
+func DecodeAcc(buf []byte) (*Acc, []byte, error) {
+	if len(buf) < 1 {
+		return nil, nil, ErrAccCorrupt
+	}
+	flags := buf[0]
+	buf = buf[1:]
+	a := &Acc{}
+	switch {
+	case flags&accFlagNaN != 0:
+		a.nan = true
+		return a, buf, nil
+	case flags&accFlagPInf != 0:
+		a.posInf = 1
+		return a, buf, nil
+	case flags&accFlagNInf != 0:
+		a.negInf = 1
+		return a, buf, nil
+	}
+	if len(buf) < 2 {
+		return nil, nil, ErrAccCorrupt
+	}
+	lo, n := int(buf[0]), int(buf[1])
+	buf = buf[2:]
+	if n == 0 {
+		if flags&accFlagNeg != 0 {
+			// Canonical zero is non-negative; a signed zero window is forged.
+			return nil, nil, ErrAccCorrupt
+		}
+		return a, buf, nil
+	}
+	if lo >= accLimbs || n > accLimbs-lo || len(buf) < 4*n {
+		return nil, nil, ErrAccCorrupt
+	}
+	neg := flags&accFlagNeg != 0
+	for i := 0; i < n; i++ {
+		v := uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 | uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24
+		if neg {
+			a.limb[lo+i] = -int64(v)
+		} else {
+			a.limb[lo+i] = int64(v)
+		}
+	}
+	a.adds = 1
+	return a, buf[4*n:], nil
+}
+
+// AddVec folds vector x element-wise into the accumulator slice. The slice
+// length must match the vector dimension.
+func AddVec(acc []Acc, x []float64) {
+	for j := range acc {
+		acc[j].Add(x[j])
+	}
+}
+
+// MergeVec folds accumulator slice b element-wise into a.
+func MergeVec(a, b []Acc) {
+	for j := range a {
+		a[j].Merge(&b[j])
+	}
+}

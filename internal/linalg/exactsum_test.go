@@ -1,0 +1,242 @@
+package linalg
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigSum computes the exact sum of xs with math/big and rounds it to the
+// nearest float64 — the reference Round must match bit-for-bit.
+func bigSum(xs []float64) float64 {
+	sum := new(big.Float).SetPrec(4096)
+	for _, x := range xs {
+		sum.Add(sum, new(big.Float).SetPrec(4096).SetFloat64(x))
+	}
+	f, _ := sum.Float64()
+	return f
+}
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		switch rng.Intn(10) {
+		case 0: // huge magnitude
+			xs[i] = math.Ldexp(rng.Float64()-0.5, rng.Intn(600))
+		case 1: // tiny / subnormal
+			xs[i] = math.Ldexp(rng.Float64()-0.5, -1000-rng.Intn(70))
+		case 2: // exact cancellation material
+			xs[i] = float64(rng.Intn(1000) - 500)
+		default:
+			xs[i] = rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+func TestAccMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		xs := randFloats(rng, 1+rng.Intn(100))
+		var a Acc
+		for _, x := range xs {
+			a.Add(x)
+		}
+		got, want := a.Round(), bigSum(xs)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: Round()=%g (%#x) want %g (%#x) for %d inputs",
+				trial, got, math.Float64bits(got), want, math.Float64bits(want), len(xs))
+		}
+	}
+}
+
+// TestAccOrderAndTreeInvariance is the keystone property: any permutation
+// and any tree partition of the same multiset yields a bit-identical sum.
+func TestAccOrderAndTreeInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		xs := randFloats(rng, 2+rng.Intn(200))
+		var ref Acc
+		for _, x := range xs {
+			ref.Add(x)
+		}
+		refBits := math.Float64bits(ref.Round())
+
+		// Shuffled sequential order.
+		perm := rng.Perm(len(xs))
+		var shuf Acc
+		for _, i := range perm {
+			shuf.Add(xs[i])
+		}
+		if math.Float64bits(shuf.Round()) != refBits {
+			t.Fatalf("trial %d: shuffled sum differs from sequential", trial)
+		}
+
+		// Random partition into 1..8 leaves merged pairwise in random order.
+		k := 1 + rng.Intn(8)
+		leaves := make([]*Acc, k)
+		for i := range leaves {
+			leaves[i] = &Acc{}
+		}
+		for _, x := range xs {
+			leaves[rng.Intn(k)].Add(x)
+		}
+		for len(leaves) > 1 {
+			i := rng.Intn(len(leaves) - 1)
+			leaves[i].Merge(leaves[i+1])
+			leaves = append(leaves[:i+1], leaves[i+2:]...)
+		}
+		if math.Float64bits(leaves[0].Round()) != refBits {
+			t.Fatalf("trial %d: tree-merged sum differs from sequential", trial)
+		}
+	}
+}
+
+func TestAccSpecials(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"zeros", []float64{0, math.Copysign(0, -1)}, 0},
+		{"nan poisons", []float64{1, math.NaN(), 2}, math.NaN()},
+		{"posinf", []float64{1, math.Inf(1)}, math.Inf(1)},
+		{"neginf", []float64{math.Inf(-1), -5}, math.Inf(-1)},
+		{"inf clash", []float64{math.Inf(1), math.Inf(-1)}, math.NaN()},
+		{"exact cancel", []float64{1e300, -1e300, 3}, 3},
+		{"subnormal", []float64{math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64}, 2 * math.SmallestNonzeroFloat64},
+		{"max finite", []float64{math.MaxFloat64}, math.MaxFloat64},
+		{"overflow to inf", []float64{math.MaxFloat64, math.MaxFloat64}, math.Inf(1)},
+		{"neg overflow", []float64{-math.MaxFloat64, -math.MaxFloat64}, math.Inf(-1)},
+		{"tiny plus huge", []float64{1e308, 1e-308, -1e308}, 1e-308},
+	}
+	for _, tc := range cases {
+		var a Acc
+		for _, x := range tc.xs {
+			a.Add(x)
+		}
+		got := a.Round()
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Round()=%g want NaN", tc.name, got)
+			}
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(tc.want) {
+			t.Errorf("%s: Round()=%g (%#x) want %g (%#x)",
+				tc.name, got, math.Float64bits(got), tc.want, math.Float64bits(tc.want))
+		}
+	}
+}
+
+func TestAccRoundHalfEven(t *testing.T) {
+	// 1 + 2^-53 is exactly halfway between 1 and the next float64; half-even
+	// rounds down to 1. Adding another 2^-53 lands above the midpoint of the
+	// same interval... actually 1 + 2^-52 is exactly representable.
+	var a Acc
+	a.Add(1)
+	a.Add(math.Ldexp(1, -53))
+	if got := a.Round(); got != 1 {
+		t.Errorf("1 + 2^-53 rounded to %g (%#x), want 1 (half-even)", got, math.Float64bits(got))
+	}
+	// 1 + 2^-53 + 2^-100 is above the midpoint: rounds up.
+	a.Add(math.Ldexp(1, -100))
+	want := 1 + math.Ldexp(1, -52)
+	if got := a.Round(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("1 + 2^-53 + 2^-100 rounded to %#x, want %#x", math.Float64bits(got), math.Float64bits(want))
+	}
+	// 1.5 + 2^-53: odd mantissa LSB, half-even rounds up.
+	a.Reset()
+	a.Add(1 + math.Ldexp(1, -52))
+	a.Add(math.Ldexp(1, -53))
+	want = 1 + math.Ldexp(2, -52)
+	if got := a.Round(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("odd-LSB half rounded to %#x, want %#x", math.Float64bits(got), math.Float64bits(want))
+	}
+}
+
+func TestAccWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		xs := randFloats(rng, rng.Intn(50))
+		var a Acc
+		for _, x := range xs {
+			a.Add(x)
+		}
+		buf := a.AppendBinary(nil)
+		b, rest, err := DecodeAcc(buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode failed: %v", trial, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes after decode", trial, len(rest))
+		}
+		if ga, gb := math.Float64bits(a.Round()), math.Float64bits(b.Round()); ga != gb {
+			t.Fatalf("trial %d: round-trip changed value %#x -> %#x", trial, ga, gb)
+		}
+		// Canonical form: re-encoding the decoded accumulator must be identical.
+		if again := b.AppendBinary(nil); string(again) != string(buf) {
+			t.Fatalf("trial %d: re-encoding is not canonical", trial)
+		}
+	}
+
+	// Specials survive the wire.
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		var a Acc
+		a.Add(x)
+		b, _, err := DecodeAcc(a.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("special %g: %v", x, err)
+		}
+		got := b.Round()
+		if math.IsNaN(x) != math.IsNaN(got) || (!math.IsNaN(x) && got != x) {
+			t.Errorf("special %g decoded to %g", x, got)
+		}
+	}
+}
+
+func TestAccDecodeHostile(t *testing.T) {
+	hostile := [][]byte{
+		nil,
+		{},
+		{0},                     // finite flag but no window header
+		{0, 5},                  // truncated header
+		{0, 70, 1, 1, 2, 3, 4},  // offset beyond register
+		{0, 60, 20, 0, 0, 0, 0}, // window overruns register
+		{0, 0, 2, 1, 2, 3},      // truncated limb data
+		{1, 0, 0},               // negative zero window (non-canonical)
+	}
+	for i, buf := range hostile {
+		if _, _, err := DecodeAcc(buf); err == nil {
+			t.Errorf("hostile input %d decoded without error", i)
+		}
+	}
+}
+
+func TestAccManyAddsNormalization(t *testing.T) {
+	// Hammer one limb slot past the lazy-carry window to prove normalization
+	// keeps the running value exact.
+	var a Acc
+	const n = accNormalizeEvery + 1024
+	for i := 0; i < n; i++ {
+		a.Add(1)
+	}
+	if got := a.Round(); got != float64(n) {
+		t.Fatalf("sum of %d ones = %g", n, got)
+	}
+}
+
+func TestAccVecHelpers(t *testing.T) {
+	a := make([]Acc, 3)
+	b := make([]Acc, 3)
+	AddVec(a, []float64{1, 2, 3})
+	AddVec(b, []float64{10, 20, 30})
+	MergeVec(a, b)
+	for j, want := range []float64{11, 22, 33} {
+		if got := a[j].Round(); got != want {
+			t.Errorf("dim %d: %g want %g", j, got, want)
+		}
+	}
+}

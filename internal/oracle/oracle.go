@@ -64,6 +64,9 @@ type Report struct {
 	// Stats is the coordinator's protocol tally at the end of the replay,
 	// so callers can verify the schedule actually exercised the protocol.
 	Stats core.CoordStats
+	// TreeDepth is the shard-tree depth of a ReplayTree run (tiers from the
+	// root shard to the leaves); zero for the flat TCP replay.
+	TreeDepth int
 }
 
 // Replay runs the spec and returns the per-round differential report. It

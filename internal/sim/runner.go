@@ -14,6 +14,7 @@ import (
 	"automon/internal/core"
 	"automon/internal/linalg"
 	"automon/internal/obs"
+	"automon/internal/shard"
 	"automon/internal/stream"
 )
 
@@ -76,6 +77,24 @@ type Config struct {
 	// loudly otherwise.
 	Elide bool
 
+	// Shards > 0 runs the AutoMon algorithm through a hierarchical sharded
+	// coordinator (internal/shard) with that many leaf shards instead of the
+	// flat one. In the default routing mode the run is bit-identical to a
+	// flat run over the same stream (the differential suite asserts it); with
+	// ShardAbsorb leaves absorb safe-zone violations locally and the run is
+	// ε-correct but not bitwise comparable. Only meaningful for AutoMon.
+	Shards int
+	// TreeFanout bounds the children per interior shard tier; 0 means
+	// shard.DefaultFanout.
+	TreeFanout int
+	// ShardAbsorb selects shard.ModeAbsorb for a sharded run.
+	ShardAbsorb bool
+	// ShardChaos, when set on a sharded run, is invoked at the start of every
+	// monitored round with the round index and the live tree — the
+	// fault-injection hook chaos tests use to kill and rejoin whole sub-trees
+	// mid-stream.
+	ShardChaos func(round int, tree *shard.Tree)
+
 	// Trace records per-round estimate/true/error series and the cumulative
 	// message count (used by the time-series figures).
 	Trace bool
@@ -118,6 +137,49 @@ type Result struct {
 	// Traces are populated when Config.Trace is set.
 	TrueTrace, EstTrace, ErrTrace []float64
 	CumMessages                   []int
+}
+
+// Outcome is the protocol-visible footprint of a run: everything the
+// protocol determines and nothing the harness shape does. Differential
+// suites DeepEqual the Outcome of a sharded-tree run against a flat run to
+// prove the tree changes the topology, not the protocol.
+type Outcome struct {
+	Messages       int
+	MessagesByType map[core.MsgType]int
+	PayloadBytes   int
+
+	MaxErr, MeanErr, P99Err float64
+	MissedRounds            int
+	ElidedChecks            int
+
+	Stats          core.CoordStats
+	TunedR, FinalR float64
+
+	EstTrace    []float64
+	CumMessages []int
+}
+
+// Outcome extracts the comparable footprint of the result.
+func (r *Result) Outcome() Outcome {
+	byType := make(map[core.MsgType]int, len(r.MessagesByType))
+	for t, n := range r.MessagesByType {
+		byType[t] = n
+	}
+	return Outcome{
+		Messages:       r.Messages,
+		MessagesByType: byType,
+		PayloadBytes:   r.PayloadBytes,
+		MaxErr:         r.MaxErr,
+		MeanErr:        r.MeanErr,
+		P99Err:         r.P99Err,
+		MissedRounds:   r.MissedRounds,
+		ElidedChecks:   r.ElidedChecks,
+		Stats:          r.Stats,
+		TunedR:         r.TunedR,
+		FinalR:         r.FinalR,
+		EstTrace:       r.EstTrace,
+		CumMessages:    r.CumMessages,
+	}
 }
 
 // countingComm implements core.NodeComm over in-process nodes while
@@ -177,6 +239,7 @@ func newCountingComm(cfg Config, res *Result, nodes []*core.Node) *countingComm 
 	for _, t := range []core.MsgType{
 		core.MsgViolation, core.MsgDataRequest, core.MsgDataResponse,
 		core.MsgSync, core.MsgSlack, core.MsgRejoin,
+		core.MsgPartial, core.MsgSubtreeRejoin,
 	} {
 		c.typeCounter(t)
 	}
@@ -386,7 +449,34 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 		}
 	}
 
-	coord := core.NewCoordinator(cfg.F, n, coreCfg, comm)
+	// The flat coordinator and the sharded tree expose the same monitor
+	// surface; which one runs is purely a topology choice.
+	var coord interface {
+		Init() error
+		HandleViolation(v *core.Violation) error
+		Estimate() float64
+		Stats() core.CoordStats
+		R() float64
+	}
+	var tree *shard.Tree
+	if cfg.Shards > 0 {
+		mode := shard.ModeRoute
+		if cfg.ShardAbsorb {
+			mode = shard.ModeAbsorb
+		}
+		var err error
+		tree, err = shard.NewTree(cfg.F, n, coreCfg, comm, shard.Options{
+			Shards: cfg.Shards,
+			Fanout: cfg.TreeFanout,
+			Mode:   mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		coord = tree
+	} else {
+		coord = core.NewCoordinator(cfg.F, n, coreCfg, comm)
+	}
 	if err := coord.Init(); err != nil {
 		return nil, err
 	}
@@ -403,6 +493,9 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 
 	avg := make([]float64, cfg.F.Dim())
 	for r := startRound; r < ds.Rounds; r++ {
+		if tree != nil && cfg.ShardChaos != nil {
+			cfg.ShardChaos(r, tree)
+		}
 		for i := 0; i < n; i++ {
 			s := ds.Sample(r, i)
 			if s == nil {
@@ -423,6 +516,12 @@ func runAutoMon(cfg Config, res *Result, windows []stream.Windower) (*Result, er
 				v = nodes[i].UpdateData(windows[i].Vector())
 			}
 			if v == nil {
+				continue
+			}
+			if tree != nil && !tree.Live(i) {
+				// A node in a killed sub-tree is partitioned away from the
+				// coordinator: its window keeps evolving but its violations
+				// never reach the wire until the sub-tree rejoins.
 				continue
 			}
 			comm.count(v)
